@@ -1,0 +1,65 @@
+// Shared helpers for the figure-reproduction benches.
+
+#ifndef NUMALAB_BENCH_BENCH_COMMON_H_
+#define NUMALAB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/workloads/run_config.h"
+
+namespace numalab {
+namespace bench {
+
+/// Parses --records=N / --scale=F style flags; returns the default when the
+/// flag is absent.
+inline uint64_t FlagU64(int argc, char** argv, const char* name,
+                        uint64_t def) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return def;
+}
+
+/// The paper's "modified OS configuration": Sparse affinity, AutoNUMA and
+/// THP off. Policy/allocator are the experiment variables on top.
+inline workloads::RunConfig TunedBase(const std::string& machine,
+                                      int threads) {
+  workloads::RunConfig c;
+  c.machine = machine;
+  c.threads = threads;
+  c.affinity = osmodel::Affinity::kSparse;
+  c.autonuma = false;
+  c.thp = false;
+  c.policy = mem::MemPolicy::kFirstTouch;
+  c.allocator = "ptmalloc";
+  return c;
+}
+
+/// The out-of-the-box configuration (Linux defaults).
+inline workloads::RunConfig DefaultBase(const std::string& machine,
+                                        int threads) {
+  workloads::RunConfig c;
+  c.machine = machine;
+  c.threads = threads;
+  c.affinity = osmodel::Affinity::kNone;
+  c.autonuma = true;
+  c.thp = true;
+  c.policy = mem::MemPolicy::kFirstTouch;
+  c.allocator = "ptmalloc";
+  return c;
+}
+
+inline double GCycles(uint64_t cycles) {
+  return static_cast<double>(cycles) / 1e9;
+}
+
+}  // namespace bench
+}  // namespace numalab
+
+#endif  // NUMALAB_BENCH_BENCH_COMMON_H_

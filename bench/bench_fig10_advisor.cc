@@ -1,0 +1,56 @@
+// Figure 10 — the application-agnostic decision flowchart, exercised over a
+// grid of practitioner situations, plus the empirical auto-tuner validating
+// the flowchart's pick against a brute-force sweep on Machine A.
+
+#include "bench/bench_common.h"
+#include "src/advisor/advisor.h"
+
+using namespace numalab;
+using namespace numalab::advisor;
+
+int main() {
+  std::printf("Figure 10: decision flowchart traces\n\n");
+
+  struct Case {
+    const char* name;
+    Situation s;
+  };
+  const Case cases[] = {
+      {"analyst with root, allocation-heavy scan/join (the paper's main "
+       "path)",
+       {false, true, true, false, true, false}},
+      {"no superuser access (shared cluster)",
+       {false, true, false, false, true, false}},
+      {"memory-constrained appliance",
+       {false, true, true, false, true, true}},
+      {"latency-bound point lookups, few allocations",
+       {false, false, true, false, false, false}},
+      {"engine already NUMA-aware (pins threads, places memory)",
+       {true, true, true, true, true, false}},
+  };
+
+  for (const Case& c : cases) {
+    Advice a = Advise(c.s);
+    std::printf("--- %s\n%s\n", c.name, a.ToString().c_str());
+  }
+
+  std::printf("Auto-tuner validation (W1, Machine A, 16 threads):\n");
+  workloads::RunConfig base = bench::TunedBase("A", 16);
+  base.num_records = 400'000;
+  base.cardinality = 40'000;
+  Situation s{false, true, true, false, true, false};
+  AutoTuneResult r = AutoTune(base, s);
+  std::printf("  evaluated %d configurations\n", r.evaluated);
+  std::printf("  best:      %s + %s + %s  -> %.3f Gcycles\n",
+              osmodel::AffinityName(r.best.affinity),
+              mem::MemPolicyName(r.best.policy), r.best.allocator.c_str(),
+              bench::GCycles(r.best_cycles));
+  std::printf("  flowchart: %s + %s + %s  -> %.3f Gcycles (%.1f%% of best)\n",
+              osmodel::AffinityName(r.flowchart.affinity),
+              mem::MemPolicyName(r.flowchart.policy),
+              r.flowchart.allocator.c_str(),
+              bench::GCycles(r.flowchart_cycles),
+              100.0 * static_cast<double>(r.flowchart_cycles) /
+                  static_cast<double>(r.best_cycles));
+  return 0;
+}

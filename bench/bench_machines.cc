@@ -1,0 +1,22 @@
+// Figure 1 / Table II — prints the three machine models: topology, routed
+// latency-factor matrices, cache/TLB geometry and bandwidths, so the
+// simulated testbed can be compared against the paper's specification
+// directly.
+
+#include <cstdio>
+
+#include "src/topology/machine.h"
+
+int main() {
+  for (const char* name : {"A", "B", "C"}) {
+    numalab::topology::Machine m = numalab::topology::MachineByName(name);
+    std::printf("%s", m.ToString().c_str());
+    std::printf("  4K TLB: L1 %d + L2 %d entries; 2M TLB: L1 %d + L2 %d\n",
+                m.tlb_4k().l1_entries, m.tlb_4k().l2_entries,
+                m.tlb_2m().l1_entries, m.tlb_2m().l2_entries);
+    std::printf("  controller %.1f B/cyc per node, links %.1f B/cyc\n\n",
+                m.mem_ctrl_bytes_per_cycle(),
+                m.links().empty() ? 0.0 : m.links()[0].bytes_per_cycle);
+  }
+  return 0;
+}

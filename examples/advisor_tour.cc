@@ -1,0 +1,55 @@
+// Advisor tour: describe your situation, get the Fig. 10 walk-through, and
+// watch the auto-tuner validate it empirically on the simulated machine.
+//
+//   $ ./example_advisor_tour [--no-root] [--low-memory] [--latency-bound]
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/advisor/advisor.h"
+
+using namespace numalab;
+using namespace numalab::advisor;
+
+int main(int argc, char** argv) {
+  Situation s;
+  s.thread_placement_managed = false;
+  s.bandwidth_bound = true;
+  s.superuser = true;
+  s.memory_placement_defined = false;
+  s.allocation_heavy = true;
+  s.free_memory_constrained = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-root") == 0) s.superuser = false;
+    if (std::strcmp(argv[i], "--low-memory") == 0)
+      s.free_memory_constrained = true;
+    if (std::strcmp(argv[i], "--latency-bound") == 0)
+      s.bandwidth_bound = false;
+  }
+
+  Advice a = Advise(s);
+  std::printf("Recommended plan (Fig. 10):\n%s\n", a.ToString().c_str());
+
+  std::printf("Validating empirically on simulated Machine A (12 candidate"
+              " configurations, W1 probe)...\n");
+  workloads::RunConfig base;
+  base.machine = "A";
+  base.threads = 16;
+  base.num_records = 400'000;
+  base.cardinality = 40'000;
+  AutoTuneResult r = AutoTune(base, s);
+  std::printf("  empirical best: %s affinity, %s placement, %s "
+              "(%.1f Mcycles)\n",
+              osmodel::AffinityName(r.best.affinity),
+              mem::MemPolicyName(r.best.policy), r.best.allocator.c_str(),
+              static_cast<double>(r.best_cycles) / 1e6);
+  std::printf("  flowchart pick: %s affinity, %s placement, %s "
+              "(%.1f Mcycles, %.0f%% of best)\n",
+              osmodel::AffinityName(r.flowchart.affinity),
+              mem::MemPolicyName(r.flowchart.policy),
+              r.flowchart.allocator.c_str(),
+              static_cast<double>(r.flowchart_cycles) / 1e6,
+              100.0 * static_cast<double>(r.flowchart_cycles) /
+                  static_cast<double>(r.best_cycles));
+  return 0;
+}

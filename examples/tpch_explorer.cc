@@ -1,0 +1,51 @@
+// TPC-H explorer: run any of the 22 queries on any of the five system
+// profiles under the default or tuned OS configuration.
+//
+//   $ ./example_tpch_explorer [query=5] [profile=MonetDB] [sf100=5]
+//
+// Prints latency under both configurations plus the result digest, showing
+// the paper's W5 effect on a single query at a time.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/minidb/runner.h"
+
+using namespace numalab::minidb;
+
+int main(int argc, char** argv) {
+  int query = argc > 1 ? std::atoi(argv[1]) : 5;
+  std::string profile = argc > 2 ? argv[2] : "MonetDB";
+  double scale = (argc > 3 ? std::atof(argv[3]) : 5.0) / 100.0;
+
+  const SystemProfile& prof = ProfileByName(profile);
+  std::printf("TPC-H Q%d on the %s-like profile (%s), SF=%.2f, Machine A\n\n",
+              query, prof.models.c_str(), prof.name.c_str(), scale);
+
+  TpchOptions o;
+  o.query = query;
+  o.profile = prof.name;
+  o.scale = scale;
+
+  o.tuned = false;
+  TpchResult def = RunTpch(o);
+  std::printf("default OS  : %8.2f Mcycles  (%d workers, %llu result rows,"
+              " digest %.4f)\n",
+              static_cast<double>(def.cycles) / 1e6, def.workers,
+              static_cast<unsigned long long>(def.out.rows),
+              def.out.digest);
+
+  o.tuned = true;
+  TpchResult tuned = RunTpch(o);
+  std::printf("tuned OS    : %8.2f Mcycles  (%d workers, %llu result rows,"
+              " digest %.4f)\n\n",
+              static_cast<double>(tuned.cycles) / 1e6, tuned.workers,
+              static_cast<unsigned long long>(tuned.out.rows),
+              tuned.out.digest);
+
+  std::printf("latency reduction: %.1f%%\n",
+              100.0 * (1.0 - static_cast<double>(tuned.cycles) /
+                                 static_cast<double>(def.cycles)));
+  return 0;
+}

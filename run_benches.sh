@@ -1,0 +1,14 @@
+#!/bin/bash
+# Runs every bench binary in order, echoing a header per binary.
+set -u
+for b in bench_machines bench_fig2_alloc_micro bench_fig3_affinity_variance \
+         bench_fig4_sparse_dense bench_table3_profile bench_fig5_os_config \
+         bench_fig6_allocators bench_fig7_indexes bench_fig8_tpch \
+         bench_fig9_tpch_alloc bench_fig10_advisor bench_ablations \
+         bench_ext_onchip_numa; do
+  echo "===================================================================="
+  echo "== $b"
+  echo "===================================================================="
+  ./build/bench/$b
+  echo
+done

@@ -1,0 +1,148 @@
+#include "src/advisor/advisor.h"
+
+#include <sstream>
+
+#include "src/workloads/workloads.h"
+
+namespace numalab {
+namespace advisor {
+
+Advice Advise(const Situation& s) {
+  Advice a;
+
+  // "Is thread placement managed?" -> affinitize; Sparse if bandwidth-bound.
+  if (!s.thread_placement_managed) {
+    if (s.bandwidth_bound) {
+      a.affinity = osmodel::Affinity::kSparse;
+      a.steps.push_back(
+          {"Affinitize thread placement with the Sparse strategy",
+           "unpinned threads migrate, invalidate caches and drift away from "
+           "their memory; spreading across nodes maximizes usable memory "
+           "bandwidth (Fig. 3/4)"});
+    } else {
+      a.affinity = osmodel::Affinity::kDense;
+      a.steps.push_back(
+          {"Affinitize thread placement with the Dense strategy",
+           "latency-bound work benefits from packing threads close together "
+           "and sharing caches"});
+    }
+  } else {
+    a.affinity = osmodel::Affinity::kSparse;  // keep whatever is managed
+    a.steps.push_back({"Keep the application's existing thread placement",
+                       "placement is already managed"});
+  }
+
+  // "Superuser access?" -> disable AutoNUMA and THP.
+  if (s.superuser) {
+    a.disable_autonuma = true;
+    a.disable_thp = true;
+    a.steps.push_back(
+        {"Disable AutoNUMA (kernel.numa_balancing=0) and Transparent "
+         "Hugepages",
+         "their overhead dominates any locality gains for multi-threaded "
+         "query processing (Fig. 5)"});
+  }
+
+  // "Memory placement defined?" -> optimize it (Interleave).
+  if (!s.memory_placement_defined) {
+    a.policy = mem::MemPolicy::kInterleave;
+    if (s.superuser) {
+      a.steps.push_back(
+          {"Set the memory placement policy to Interleave (numactl -i all)",
+           "spreads shared structures across all controllers; under First "
+           "Touch they gravitate to the loader's node (Fig. 5a/6)"});
+    } else {
+      a.steps.push_back(
+          {"Set the memory placement policy to Interleave (numactl -i all)",
+           "without superuser access, Interleave also mostly offsets the "
+           "damage AutoNUMA and THP would otherwise do (Fig. 5a)"});
+    }
+  } else {
+    a.policy = mem::MemPolicy::kFirstTouch;
+  }
+
+  // "Allocation-heavy workload?" -> override the allocator.
+  if (s.allocation_heavy) {
+    if (s.free_memory_constrained) {
+      a.allocator = "jemalloc";
+      a.steps.push_back(
+          {"Preload jemalloc (LD_PRELOAD=libjemalloc.so)",
+           "near-tbbmalloc speed with the lowest memory overhead "
+           "(Fig. 2b)"});
+    } else {
+      a.allocator = "tbbmalloc";
+      a.steps.push_back(
+          {"Preload tbbmalloc (LD_PRELOAD=libtbbmalloc.so)",
+           "the most scalable allocator across workloads and machines "
+           "(Fig. 2a/6)"});
+    }
+  } else {
+    a.steps.push_back(
+        {"Keep the default allocator",
+         "few allocations on the hot path; placement matters more than "
+         "allocation speed (W2, Fig. 6d-f)"});
+  }
+
+  return a;
+}
+
+std::string Advice::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    os << i + 1 << ". " << steps[i].action << "\n     — "
+       << steps[i].rationale << "\n";
+  }
+  return os.str();
+}
+
+workloads::RunConfig ApplyAdvice(const Advice& advice,
+                                 workloads::RunConfig base) {
+  base.affinity = advice.affinity;
+  base.autonuma = !advice.disable_autonuma && base.autonuma;
+  base.thp = !advice.disable_thp && base.thp;
+  base.policy = advice.policy;
+  base.allocator = advice.allocator;
+  return base;
+}
+
+AutoTuneResult AutoTune(const workloads::RunConfig& base,
+                        const Situation& situation) {
+  AutoTuneResult result;
+
+  // Probe at reduced size: the relative ordering is what matters.
+  workloads::RunConfig probe = base;
+  probe.num_records = std::min<uint64_t>(base.num_records, 400'000);
+  probe.cardinality = std::max<uint64_t>(
+      probe.num_records / 10, std::min<uint64_t>(base.cardinality, 40'000));
+
+  result.best_cycles = UINT64_MAX;
+  for (auto affinity : {osmodel::Affinity::kSparse, osmodel::Affinity::kDense}) {
+    for (auto policy : {mem::MemPolicy::kFirstTouch,
+                        mem::MemPolicy::kInterleave}) {
+      for (const char* alloc : {"ptmalloc", "jemalloc", "tbbmalloc"}) {
+        workloads::RunConfig c = probe;
+        c.affinity = affinity;
+        c.policy = policy;
+        c.allocator = alloc;
+        c.autonuma = !situation.superuser;  // stuck on without privileges
+        c.thp = !situation.superuser;
+        workloads::RunResult r = workloads::RunW1HolisticAggregation(c);
+        ++result.evaluated;
+        if (r.cycles < result.best_cycles) {
+          result.best_cycles = r.cycles;
+          result.best = c;
+        }
+      }
+    }
+  }
+
+  Advice advice = Advise(situation);
+  result.flowchart = ApplyAdvice(advice, probe);
+  workloads::RunResult fr =
+      workloads::RunW1HolisticAggregation(result.flowchart);
+  result.flowchart_cycles = fr.cycles;
+  return result;
+}
+
+}  // namespace advisor
+}  // namespace numalab

@@ -1,0 +1,73 @@
+// The paper's application-agnostic decision flowchart (Fig. 10), encoded as
+// an API, plus an empirical auto-tuner that validates the flowchart's
+// recommendation by actually simulating candidate configurations.
+
+#ifndef NUMALAB_ADVISOR_ADVISOR_H_
+#define NUMALAB_ADVISOR_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/mem/page.h"
+#include "src/osmodel/os_config.h"
+#include "src/workloads/run_config.h"
+
+namespace numalab {
+namespace advisor {
+
+/// \brief Answers to the flowchart's questions about the workload and the
+/// operator's environment.
+struct Situation {
+  bool thread_placement_managed = false;  ///< app already pins threads?
+  bool bandwidth_bound = true;            ///< memory-bandwidth limited?
+  bool superuser = true;                  ///< can toggle AutoNUMA/THP?
+  bool memory_placement_defined = false;  ///< numactl policy already set?
+  bool allocation_heavy = true;           ///< many allocs on the hot path?
+  bool free_memory_constrained = false;   ///< tight on RAM?
+};
+
+/// \brief One step of advice, in flowchart order.
+struct Recommendation {
+  std::string action;     ///< imperative, e.g. "Adopt Sparse affinity"
+  std::string rationale;  ///< why, in the paper's terms
+};
+
+/// \brief The flowchart's full output for a situation.
+struct Advice {
+  std::vector<Recommendation> steps;
+  /// The concrete configuration the steps amount to.
+  osmodel::Affinity affinity = osmodel::Affinity::kSparse;
+  bool disable_autonuma = false;
+  bool disable_thp = false;
+  mem::MemPolicy policy = mem::MemPolicy::kFirstTouch;
+  std::string allocator = "ptmalloc";
+
+  std::string ToString() const;
+};
+
+/// Walks Fig. 10 for the given situation.
+Advice Advise(const Situation& situation);
+
+/// Applies an Advice onto a RunConfig (keeping workload parameters).
+workloads::RunConfig ApplyAdvice(const Advice& advice,
+                                 workloads::RunConfig base);
+
+/// \brief Empirical auto-tuner (extension beyond the paper): runs a small
+/// probe workload through candidate configurations on the simulated
+/// machine and returns the fastest, together with the flowchart pick for
+/// comparison.
+struct AutoTuneResult {
+  workloads::RunConfig best;
+  uint64_t best_cycles = 0;
+  workloads::RunConfig flowchart;
+  uint64_t flowchart_cycles = 0;
+  int evaluated = 0;
+};
+
+AutoTuneResult AutoTune(const workloads::RunConfig& base,
+                        const Situation& situation);
+
+}  // namespace advisor
+}  // namespace numalab
+
+#endif  // NUMALAB_ADVISOR_ADVISOR_H_

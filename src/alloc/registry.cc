@@ -1,0 +1,29 @@
+#include "src/alloc/allocator.h"
+#include "src/alloc/impls.h"
+
+namespace numalab {
+namespace alloc {
+
+const std::vector<std::string>& AllAllocatorNames() {
+  static const std::vector<std::string> kNames = {
+      "ptmalloc",  "jemalloc",    "tcmalloc", "hoard",
+      "tbbmalloc", "supermalloc", "mcmalloc"};
+  return kNames;
+}
+
+std::unique_ptr<SimAllocator> MakeAllocator(const std::string& name,
+                                            AllocEnv env,
+                                            const topology::Machine* m) {
+  if (name == "ptmalloc") return MakePtMalloc(env, m);
+  if (name == "jemalloc") return MakeJeMalloc(env, m);
+  if (name == "tcmalloc") return MakeTcMalloc(env, m);
+  if (name == "hoard") return MakeHoard(env, m);
+  if (name == "tbbmalloc") return MakeTbbMalloc(env, m);
+  if (name == "supermalloc") return MakeSuperMalloc(env, m);
+  if (name == "mcmalloc") return MakeMcMalloc(env, m);
+  NUMALAB_CHECK(false && "unknown allocator name");
+  return nullptr;
+}
+
+}  // namespace alloc
+}  // namespace numalab

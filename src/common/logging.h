@@ -1,0 +1,31 @@
+// Check macros for invariants. A failed check is a bug in numalab or in its
+// caller; it prints a message and aborts.
+
+#ifndef NUMALAB_COMMON_LOGGING_H_
+#define NUMALAB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace numalab {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace numalab
+
+#define NUMALAB_CHECK(expr)                                         \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::numalab::internal::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                                \
+  } while (0)
+
+#define NUMALAB_DCHECK(expr) NUMALAB_CHECK(expr)
+
+#endif  // NUMALAB_COMMON_LOGGING_H_

@@ -1,0 +1,53 @@
+// Small statistics helpers used by the benchmark harness and by workloads
+// (e.g. the holistic MEDIAN aggregate).
+
+#ifndef NUMALAB_COMMON_STATS_H_
+#define NUMALAB_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace numalab {
+
+/// Arithmetic mean; 0 for an empty sequence.
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+inline double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+/// p-th percentile (0..100) with linear interpolation. Copies and sorts.
+inline double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+/// Median of an integer sequence (as used by the W1 holistic aggregate):
+/// lower-middle element for even sizes, computed by nth_element in place.
+inline int64_t MedianInPlace(std::vector<int64_t>* xs) {
+  if (xs->empty()) return 0;
+  size_t mid = (xs->size() - 1) / 2;
+  std::nth_element(xs->begin(), xs->begin() + static_cast<long>(mid), xs->end());
+  return (*xs)[mid];
+}
+
+}  // namespace numalab
+
+#endif  // NUMALAB_COMMON_STATS_H_

@@ -1,0 +1,101 @@
+// Minimal Status / Result types for fallible operations.
+//
+// Follows the RocksDB/Arrow convention: functions that can fail in ways the
+// caller should handle return a Status (or Result<T>); programming errors are
+// checked with NUMALAB_CHECK and abort.
+
+#ifndef NUMALAB_COMMON_STATUS_H_
+#define NUMALAB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace numalab {
+
+/// \brief Outcome of a fallible operation.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfMemory,
+    kAlreadyExists,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(Code::kOutOfMemory, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + msg_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static std::string CodeName(Code c) {
+    switch (c) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kNotFound: return "NotFound";
+      case Code::kOutOfMemory: return "OutOfMemory";
+      case Code::kAlreadyExists: return "AlreadyExists";
+      case Code::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  Code code_;
+  std::string msg_;
+};
+
+/// \brief A value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}           // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {     // NOLINT implicit
+    assert(!std::get<Status>(v_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+  T& value() { return std::get<T>(v_); }
+  const T& value() const { return std::get<T>(v_); }
+  T& operator*() { return value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace numalab
+
+#endif  // NUMALAB_COMMON_STATUS_H_

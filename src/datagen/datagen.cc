@@ -1,0 +1,83 @@
+#include "src/datagen/datagen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace numalab {
+namespace datagen {
+
+std::vector<Record> MakeAggregationInput(workloads::Dataset dataset,
+                                         uint64_t n, uint64_t card,
+                                         uint64_t seed) {
+  NUMALAB_CHECK(card > 0 && n > 0);
+  std::vector<Record> out;
+  out.reserve(n);
+  Rng rng(seed);
+
+  switch (dataset) {
+    case workloads::Dataset::kMovingCluster: {
+      // Window of |card|/16 keys sliding across the key space.
+      uint64_t window = std::max<uint64_t>(card / 16, 1);
+      for (uint64_t i = 0; i < n; ++i) {
+        uint64_t start =
+            (card > window)
+                ? static_cast<uint64_t>(
+                      static_cast<double>(i) / static_cast<double>(n) *
+                      static_cast<double>(card - window))
+                : 0;
+        uint64_t key = start + rng.Uniform(window);
+        out.push_back(Record{key, static_cast<int64_t>(rng.Uniform(1 << 20))});
+      }
+      break;
+    }
+    case workloads::Dataset::kSequential: {
+      for (uint64_t i = 0; i < n; ++i) {
+        out.push_back(
+            Record{i % card, static_cast<int64_t>(rng.Uniform(1 << 20))});
+      }
+      break;
+    }
+    case workloads::Dataset::kZipf: {
+      ZipfSampler zipf(card, /*exponent=*/0.5, seed ^ 0xa5a5a5a5ULL);
+      for (uint64_t i = 0; i < n; ++i) {
+        out.push_back(
+            Record{zipf.Next(), static_cast<int64_t>(rng.Uniform(1 << 20))});
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+void MakeJoinInput(uint64_t build_rows, uint64_t probe_rows, uint64_t seed,
+                   std::vector<JoinTuple>* build,
+                   std::vector<JoinTuple>* probe) {
+  NUMALAB_CHECK(build_rows > 0);
+  Rng rng(seed);
+
+  build->clear();
+  build->reserve(build_rows);
+  std::vector<uint64_t> keys(build_rows);
+  std::iota(keys.begin(), keys.end(), 0);
+  // Fisher-Yates with the seeded RNG (std::shuffle's URBG use would not be
+  // reproducible across standard library versions).
+  for (uint64_t i = build_rows - 1; i > 0; --i) {
+    uint64_t j = rng.Uniform(i + 1);
+    std::swap(keys[i], keys[j]);
+  }
+  for (uint64_t i = 0; i < build_rows; ++i) {
+    build->push_back(JoinTuple{keys[i], i});
+  }
+
+  probe->clear();
+  probe->reserve(probe_rows);
+  for (uint64_t i = 0; i < probe_rows; ++i) {
+    probe->push_back(JoinTuple{rng.Uniform(build_rows), i});
+  }
+}
+
+}  // namespace datagen
+}  // namespace numalab

@@ -1,0 +1,52 @@
+// Dataset generators for the microbenchmark workloads (Section IV-B).
+//
+// Generation is host-side (building the input is not part of the measured
+// query); the runner copies records into simulated memory and pretouches
+// them as a single producer thread would.
+
+#ifndef NUMALAB_DATAGEN_DATAGEN_H_
+#define NUMALAB_DATAGEN_DATAGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workloads/run_config.h"
+
+namespace numalab {
+namespace datagen {
+
+/// \brief One aggregation input record: GROUP BY groupkey, f(val).
+struct Record {
+  uint64_t key;
+  int64_t val;
+};
+
+/// \brief One join input tuple (16 bytes, as in Blanas et al.).
+struct JoinTuple {
+  uint64_t key;
+  uint64_t payload;
+};
+
+/// Generates `n` records with group-by cardinality `card`:
+///  - MovingCluster: keys drawn from a window of the key space that slides
+///    from 0 to card as the dataset progresses (streaming/spatial locality).
+///  - Sequential: key = i mod card — incrementally increasing, like
+///    transaction ids.
+///  - Zipf: Zipfian sequence with exponent 0.5 over [0, card), sampled
+///    uniformly (word frequencies, website traffic, city sizes).
+std::vector<Record> MakeAggregationInput(workloads::Dataset dataset,
+                                         uint64_t n, uint64_t card,
+                                         uint64_t seed);
+
+/// Generates the W3/W4 join inputs: the build side holds `build_rows`
+/// tuples with unique keys [0, build_rows) in shuffled order; the probe
+/// side holds `probe_rows` tuples whose foreign keys are drawn uniformly
+/// from the build keys (every probe matches exactly one build tuple).
+void MakeJoinInput(uint64_t build_rows, uint64_t probe_rows, uint64_t seed,
+                   std::vector<JoinTuple>* build,
+                   std::vector<JoinTuple>* probe);
+
+}  // namespace datagen
+}  // namespace numalab
+
+#endif  // NUMALAB_DATAGEN_DATAGEN_H_

@@ -1,0 +1,128 @@
+// Shared-global concurrent chaining hash table, used by the aggregation
+// workloads (W1/W2, after the design of [14]/[35]) and the hash join (W3,
+// after Blanas et al. [15]).
+//
+// Chaining with striped locks: writers serialize per stripe via analytical
+// VirtualLocks; reads during a probe-only phase are lock-free. All node
+// memory comes from the run's simulated allocator, and every pointer chase
+// is charged through Env — the table is the workloads' main source of both
+// allocation pressure and NUMA traffic.
+
+#ifndef NUMALAB_INDEX_HASH_TABLE_H_
+#define NUMALAB_INDEX_HASH_TABLE_H_
+
+#include <cstdint>
+#include <new>
+
+#include "src/sim/sync.h"
+#include "src/workloads/env.h"
+
+namespace numalab {
+namespace index {
+
+inline uint64_t HashKey(uint64_t key) {
+  // Fibonacci multiplicative hash; cheap and good enough for dense keys.
+  return key * 0x9e3779b97f4a7c15ULL;
+}
+
+template <typename V>
+class ConcurrentHashTable {
+ public:
+  struct Entry {
+    uint64_t key;
+    Entry* next;
+    V value;
+  };
+
+  /// Creates the shared table. `env_setup` may be a worker Env or a setup
+  /// Env outside any coroutine; the bucket array is one large allocation,
+  /// so the memory placement policy governs where it lands.
+  ConcurrentHashTable(workloads::Env& env, uint64_t nbuckets)
+      : env0_(env), nbuckets_(RoundUpPow2(nbuckets)), mask_(nbuckets_ - 1) {
+    buckets_ = static_cast<Entry**>(
+        env.alloc->Alloc(nbuckets_ * sizeof(Entry*)));
+    for (uint64_t i = 0; i < nbuckets_; ++i) buckets_[i] = nullptr;
+    // Zeroing the bucket array is its first touch: under First Touch the
+    // whole array lands on the constructing thread's node — the classic
+    // shared-structure pathology the paper's Interleave results exploit.
+    workloads::PretouchAsNode(env.mem, buckets_,
+                              nbuckets_ * sizeof(Entry*), /*node=*/0);
+  }
+
+  uint64_t nbuckets() const { return nbuckets_; }
+
+  /// Finds the entry for `key`, creating it (with value = V{}) if absent.
+  /// Thread-safe via striped locks; charges all traffic to env's thread.
+  Entry* Upsert(workloads::Env& env, uint64_t key) {
+    env.Compute(kHashCycles);
+    uint64_t b = HashKey(key) & mask_;
+    sim::VirtualLock& stripe = stripes_[b & kStripeMask];
+    uint64_t wait = stripe.Acquire(env.self->clock, kLockHoldCycles);
+    env.self->Charge(wait);
+    env.self->counters.lock_wait_cycles += wait;
+
+    env.Read(&buckets_[b], sizeof(Entry*));
+    Entry* e = buckets_[b];
+    while (e != nullptr) {
+      env.Read(e, sizeof(uint64_t) + sizeof(Entry*));
+      if (e->key == key) return e;
+      e = e->next;
+    }
+    e = static_cast<Entry*>(env.Alloc(sizeof(Entry)));
+    new (e) Entry{key, buckets_[b], V{}};
+    buckets_[b] = e;
+    env.Write(e, sizeof(Entry));
+    env.Write(&buckets_[b], sizeof(Entry*));
+    return e;
+  }
+
+  /// Lock-free lookup for probe-only phases. Returns nullptr when absent.
+  Entry* Find(workloads::Env& env, uint64_t key) const {
+    env.Compute(kHashCycles);
+    uint64_t b = HashKey(key) & mask_;
+    env.Read(&buckets_[b], sizeof(Entry*));
+    Entry* e = buckets_[b];
+    while (e != nullptr) {
+      env.Read(e, sizeof(uint64_t) + sizeof(Entry*));
+      if (e->key == key) return e;
+      e = e->next;
+    }
+    return nullptr;
+  }
+
+  /// Visits entries of buckets [first, last) — used to partition the final
+  /// aggregation pass among workers. Charges the chain walk.
+  template <typename F>
+  void ForEachInBuckets(workloads::Env& env, uint64_t first, uint64_t last,
+                        F&& fn) {
+    for (uint64_t b = first; b < last && b < nbuckets_; ++b) {
+      env.Read(&buckets_[b], sizeof(Entry*));
+      for (Entry* e = buckets_[b]; e != nullptr; e = e->next) {
+        env.Read(e, sizeof(Entry));
+        fn(e);
+      }
+    }
+  }
+
+ private:
+  static constexpr uint64_t kHashCycles = 6;
+  static constexpr uint64_t kLockHoldCycles = 40;
+  static constexpr uint64_t kStripeMask = 2047;  // 2048 stripes
+
+  static uint64_t RoundUpPow2(uint64_t v) {
+    uint64_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  workloads::Env& env0_;
+  uint64_t nbuckets_;
+  uint64_t mask_;
+  Entry** buckets_;
+  sim::VirtualLock stripes_[2048];
+};
+
+}  // namespace index
+}  // namespace numalab
+
+#endif  // NUMALAB_INDEX_HASH_TABLE_H_

@@ -1,0 +1,70 @@
+// Cache hierarchy model: a private cache per physical core plus a shared
+// last-level cache per NUMA node, both as direct-mapped line tag arrays.
+//
+// Tags-only modelling is deliberate: the simulator charges time, it does not
+// move data, so only hit/miss decisions are needed. Direct-mapped arrays
+// under-estimate hit rates slightly versus real set-associative caches but
+// preserve the effects the paper measures — working-set fit, cold caches
+// after thread migration, and LLC capacity differences between machines.
+
+#ifndef NUMALAB_MEM_CACHES_H_
+#define NUMALAB_MEM_CACHES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/cost_model.h"
+#include "src/topology/machine.h"
+
+namespace numalab {
+namespace mem {
+
+class LineCache {
+ public:
+  explicit LineCache(uint64_t capacity_bytes) {
+    size_t lines = static_cast<size_t>(capacity_bytes / kCacheLineBytes);
+    tags_.assign(std::max<size_t>(lines, 1), kEmpty);
+  }
+
+  bool Probe(uint64_t line) const {
+    return tags_[Slot(line)] == line;
+  }
+
+  void Insert(uint64_t line) { tags_[Slot(line)] = line; }
+
+  void Flush() { std::fill(tags_.begin(), tags_.end(), kEmpty); }
+
+ private:
+  static constexpr uint64_t kEmpty = ~0ULL;
+  size_t Slot(uint64_t line) const {
+    return static_cast<size_t>((line * 0x9e3779b97f4a7c15ULL) >> 32) %
+           tags_.size();
+  }
+  std::vector<uint64_t> tags_;
+};
+
+/// \brief All caches of one machine: index by core for the private level and
+/// by node for the LLC.
+class CacheModel {
+ public:
+  explicit CacheModel(const topology::Machine& m) {
+    for (int c = 0; c < m.num_cores(); ++c) {
+      private_.emplace_back(m.private_cache_bytes());
+    }
+    for (int n = 0; n < m.num_nodes(); ++n) {
+      llc_.emplace_back(m.llc_bytes_per_node());
+    }
+  }
+
+  LineCache& Private(int core) { return private_[static_cast<size_t>(core)]; }
+  LineCache& Llc(int node) { return llc_[static_cast<size_t>(node)]; }
+
+ private:
+  std::vector<LineCache> private_;
+  std::vector<LineCache> llc_;
+};
+
+}  // namespace mem
+}  // namespace numalab
+
+#endif  // NUMALAB_MEM_CACHES_H_

@@ -1,0 +1,62 @@
+// Cycle-cost constants of the simulated memory hierarchy.
+//
+// The values are order-of-magnitude realistic for the paper's 2006-2016 era
+// machines; what matters for the reproduction is their *ratios* (cache hit
+// vs DRAM vs remote DRAM vs page walk). Every knob can be switched off for
+// the ablation benchmarks.
+
+#ifndef NUMALAB_MEM_COST_MODEL_H_
+#define NUMALAB_MEM_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace numalab {
+namespace mem {
+
+struct CostModel {
+  /// Charged on every logical access (address generation + L1).
+  uint64_t base_access_cycles = 2;
+  /// Hit in the core-private cache (L2-ish).
+  uint64_t private_hit_cycles = 12;
+  /// Hit in the node-shared last-level cache.
+  uint64_t llc_hit_cycles = 45;
+  /// TLB miss page-walk penalty.
+  uint64_t page_walk_cycles = 40;
+  /// AutoNUMA NUMA-hinting minor fault (trap + kernel accounting).
+  uint64_t hinting_fault_cycles = 900;
+  /// OS moving a thread to another core (context switch + cold start).
+  uint64_t thread_migration_cycles = 30000;
+  /// Fixed kernel overhead of migrating one 4K page.
+  uint64_t page_migration_cycles = 6000;
+  /// Collapsing 512 small pages into one huge page (copy + remap).
+  uint64_t thp_collapse_cycles = 30000;
+  /// Splitting a huge page back into small pages.
+  uint64_t thp_split_cycles = 25000;
+  /// mmap/brk-style system call issued by an allocator.
+  uint64_t syscall_cycles = 4000;
+
+  /// Memory-level parallelism: out-of-order cores overlap cache misses, so
+  /// the *effective* serialized latency of one DRAM access is
+  /// dram_latency / mlp.
+  double mlp = 6.0;
+  /// Upper bound for a single access's queueing delay (keeps one lagging
+  /// thread from reserving a resource absurdly far in the future).
+  uint64_t max_queue_delay_cycles = 4000;
+
+  // --- Ablation switches (DESIGN.md section 7) ---
+  bool model_contention = true;  ///< controller + link queueing
+  bool model_tlb = true;         ///< TLB reach / page walks
+  bool model_caches = true;      ///< private + LLC tag arrays
+};
+
+inline constexpr uint64_t kCacheLineBytes = 64;
+inline constexpr uint64_t kSmallPageBytes = 4096;
+inline constexpr uint64_t kHugePageBytes = 2ULL << 20;
+inline constexpr int kSmallPagesPerHuge =
+    static_cast<int>(kHugePageBytes / kSmallPageBytes);  // 512
+inline constexpr int kMaxNumaNodes = 8;
+
+}  // namespace mem
+}  // namespace numalab
+
+#endif  // NUMALAB_MEM_COST_MODEL_H_

@@ -1,0 +1,219 @@
+#include "src/mem/mem_system.h"
+
+namespace numalab {
+namespace mem {
+
+namespace {
+// Sample every Nth DRAM access as a NUMA-hinting fault while AutoNUMA scans.
+constexpr uint32_t kHintingFaultStride = 64;
+// Migrate a page once this many sampled faults agree on a remote node.
+constexpr int kMigrateThreshold = 4;
+// A migrated page is not re-migrated within this window (kernel backoff).
+constexpr uint64_t kMigrationCooldownCycles = 600'000;
+// Kernel migration rate limit (~256 MB/s): pages per 1M-cycle epoch.
+constexpr uint64_t kMigrationsPerEpoch = 96;
+constexpr uint64_t kRateEpochCycles = 1'000'000;
+}  // namespace
+
+MemSystem::MemSystem(const topology::Machine* machine, sim::Engine* engine,
+                     CostModel costs, perf::SystemCounters* sys)
+    : machine_(machine),
+      engine_(engine),
+      costs_(costs),
+      sys_(sys),
+      contention_(*machine),
+      os_(std::make_unique<SimOS>(machine, engine, &costs_, &contention_,
+                                  sys)),
+      caches_(*machine) {
+  tlbs_.reserve(static_cast<size_t>(machine->num_cores()));
+  for (int c = 0; c < machine->num_cores(); ++c) tlbs_.emplace_back(*machine);
+}
+
+void MemSystem::OnThreadMigrated(int new_core) {
+  // Cold TLB on arrival; the private cache keeps whatever the previous
+  // occupant left, which for the migrated thread is equally cold.
+  tlbs_[static_cast<size_t>(new_core)].Flush();
+}
+
+void MemSystem::ShootdownTlb(uint64_t addr) {
+  uint64_t rel = os_->ToSimAddr(addr);
+  for (auto& tlb : tlbs_) tlb.Invalidate(rel);
+}
+
+const std::array<uint64_t, kMaxNumaNodes>& MemSystem::NodeTraffic(
+    int vthread_id) {
+  if (static_cast<size_t>(vthread_id) >= node_traffic_.size()) {
+    node_traffic_.resize(static_cast<size_t>(vthread_id) + 1, {});
+    fault_stride_.resize(static_cast<size_t>(vthread_id) + 1, 0);
+  }
+  return node_traffic_[static_cast<size_t>(vthread_id)];
+}
+
+void MemSystem::ResetNodeTraffic(int vthread_id) {
+  if (static_cast<size_t>(vthread_id) < node_traffic_.size()) {
+    node_traffic_[static_cast<size_t>(vthread_id)].fill(0);
+  }
+}
+
+void MemSystem::SampleAutoNuma(sim::VThread* vt, Region* region, size_t idx,
+                               int accessor_node, int page_node) {
+  size_t tid = static_cast<size_t>(vt->id);
+  if (tid >= fault_stride_.size()) {
+    node_traffic_.resize(tid + 1, {});
+    fault_stride_.resize(tid + 1, 0);
+    fault_budget_.resize(tid + 1, wave_budget_);
+  }
+  node_traffic_[tid][static_cast<size_t>(page_node)]++;
+  if (fault_budget_[tid] == 0) return;  // wave exhausted until next scan
+  if (++fault_stride_[tid] < kHintingFaultStride) return;
+  fault_stride_[tid] = 0;
+  --fault_budget_[tid];
+
+  // NUMA-hinting fault: trap into the kernel and account the access.
+  vt->Charge(costs_.hinting_fault_cycles);
+  ++vt->counters.hinting_faults;
+
+  size_t eff = region->pages[idx].huge ? region->HugeHead(idx) : idx;
+  PageRec& head = region->pages[eff];
+  auto& v = head.visits[static_cast<size_t>(accessor_node)];
+  if (v < 255) ++v;
+
+  // Kernel promotion rule (cost-oblivious, like upstream AutoNUMA): once a
+  // remote node has sampled enough accesses and strictly dominates, move
+  // the page there — no matter how shared the page is. The kernel does
+  // back off per page and rate-limit globally, which keeps the damage to
+  // "significantly detrimental" rather than "unbounded".
+  uint64_t epoch = vt->clock / kRateEpochCycles;
+  if (epoch != migrate_epoch_) {
+    migrate_epoch_ = epoch;
+    migrations_this_epoch_ = 0;
+  }
+  if (accessor_node != head.node &&
+      head.visits[static_cast<size_t>(accessor_node)] >= kMigrateThreshold &&
+      migrations_this_epoch_ < kMigrationsPerEpoch &&
+      vt->clock > head.migrating_until + kMigrationCooldownCycles) {
+    int best = accessor_node;
+    for (int n = 0; n < machine_->num_nodes(); ++n) {
+      if (head.visits[static_cast<size_t>(n)] >
+          head.visits[static_cast<size_t>(best)]) {
+        best = n;
+      }
+    }
+    if (best != head.node) {
+      uint64_t addr = region->base + eff * kSmallPageBytes;
+      os_->MigratePage(region, eff, best, vt->clock);
+      ShootdownTlb(addr);
+      ++migrations_this_epoch_;
+    }
+  }
+}
+
+void MemSystem::Access(sim::VThread* vt, const void* addr_p, uint64_t bytes,
+                       bool write) {
+  (void)write;  // reads and writes are charged identically (no WB model)
+  if (bytes == 0) return;
+  uint64_t addr = reinterpret_cast<uint64_t>(addr_p);
+  // All hashing below uses slab-relative addresses so runs replay
+  // identically regardless of where the host placed the slab.
+  uint64_t rel = os_->ToSimAddr(addr);
+  int core = machine_->CoreOfHwThread(vt->hw_thread);
+  int my_node = machine_->NodeOfHwThread(vt->hw_thread);
+
+  ++vt->counters.mem_accesses;
+  vt->Charge(costs_.base_access_cycles);
+
+  // TLB: one probe per access (accesses rarely straddle pages; a straddle
+  // costs one extra probe below through per-line page resolution).
+  Region* region = nullptr;
+  size_t page_idx = 0;
+  bool have_page = false;
+  if (costs_.model_tlb) {
+    Tlb& tlb = tlbs_[static_cast<size_t>(core)];
+    if (tlb.Lookup(rel)) {
+      ++vt->counters.tlb_hits;
+    } else {
+      ++vt->counters.tlb_misses;
+      vt->Charge(costs_.page_walk_cycles);
+      auto [r, i] = os_->Lookup(addr);
+      region = r;
+      page_idx = i;
+      have_page = true;
+      os_->Touch(region, page_idx, my_node);
+      tlb.Insert(rel, region->pages[page_idx].huge);
+    }
+  }
+
+  uint64_t first_line = rel / kCacheLineBytes;
+  uint64_t last_line = (rel + bytes - 1) / kCacheLineBytes;
+  for (uint64_t line = first_line; line <= last_line; ++line) {
+    if (costs_.model_caches) {
+      LineCache& priv = caches_.Private(core);
+      if (priv.Probe(line)) {
+        ++vt->counters.private_hits;
+        vt->Charge(costs_.private_hit_cycles);
+        continue;
+      }
+      LineCache& llc = caches_.Llc(my_node);
+      if (llc.Probe(line)) {
+        ++vt->counters.llc_hits;
+        vt->Charge(costs_.llc_hit_cycles);
+        priv.Insert(line);
+        continue;
+      }
+    }
+
+    // DRAM access.
+    uint64_t line_host = line * kCacheLineBytes + (addr - rel);
+    uint64_t probe_addr = line_host >= addr ? line_host : addr;
+    if (!have_page || probe_addr < region->base ||
+        probe_addr >= region->end()) {
+      auto [r, i] = os_->Lookup(probe_addr);
+      region = r;
+      page_idx = i;
+      have_page = true;
+    } else {
+      page_idx = region->PageIndex(probe_addr);
+    }
+    int page_node = os_->Touch(region, page_idx, my_node);
+
+    // Stall behind an in-flight kernel copy (migration / THP collapse).
+    size_t eff = region->pages[page_idx].huge ? region->HugeHead(page_idx)
+                                              : page_idx;
+    uint64_t busy_until = region->pages[eff].migrating_until;
+    if (busy_until > vt->clock) {
+      vt->Charge(std::min<uint64_t>(busy_until - vt->clock, 20000));
+    }
+
+    ++vt->counters.llc_misses;
+    if (page_node == my_node) {
+      ++vt->counters.local_dram;
+    } else {
+      ++vt->counters.remote_dram;
+    }
+
+    double factor = machine_->LatencyFactor(my_node, page_node);
+    uint64_t lat = static_cast<uint64_t>(
+        static_cast<double>(machine_->dram_latency_cycles()) * factor /
+        costs_.mlp);
+    uint64_t delay = 0;
+    if (costs_.model_contention) {
+      delay = contention_.Charge(*machine_, my_node, page_node, vt->clock,
+                                 kCacheLineBytes,
+                                 costs_.max_queue_delay_cycles);
+      vt->counters.queue_delay_cycles += delay;
+    }
+    vt->Charge(lat + delay);
+
+    if (autonuma_) {
+      SampleAutoNuma(vt, region, page_idx, my_node, page_node);
+    }
+
+    if (costs_.model_caches) {
+      caches_.Llc(my_node).Insert(line);
+      caches_.Private(core).Insert(line);
+    }
+  }
+}
+
+}  // namespace mem
+}  // namespace numalab

@@ -1,0 +1,98 @@
+// MemSystem — the simulated memory hierarchy seen by workload code.
+//
+// Every logical load/store a workload performs is charged through
+// MemSystem::Access: TLB (page walk on miss), core-private cache, node LLC,
+// then DRAM with topology latency and controller/link queueing. First-touch
+// page binding and AutoNUMA hinting-fault sampling happen on this path, just
+// as they do in the kernel's fault handlers.
+
+#ifndef NUMALAB_MEM_MEM_SYSTEM_H_
+#define NUMALAB_MEM_MEM_SYSTEM_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/mem/caches.h"
+#include "src/mem/contention.h"
+#include "src/mem/cost_model.h"
+#include "src/mem/sim_os.h"
+#include "src/mem/tlb.h"
+#include "src/perf/counters.h"
+#include "src/sim/engine.h"
+#include "src/topology/machine.h"
+
+namespace numalab {
+namespace mem {
+
+class MemSystem {
+ public:
+  MemSystem(const topology::Machine* machine, sim::Engine* engine,
+            CostModel costs, perf::SystemCounters* sys);
+
+  SimOS* os() { return os_.get(); }
+  const CostModel& costs() const { return costs_; }
+  ContentionModel* contention() { return &contention_; }
+
+  /// Enables AutoNUMA page-placement sampling (kernel numa_balancing).
+  void SetAutoNumaSampling(bool on) { autonuma_ = on; }
+  bool autonuma_sampling() const { return autonuma_; }
+
+  /// Arms a new NUMA-hinting fault wave: the kernel's periodic PTE scan
+  /// unmaps a bounded span, so each thread takes at most `budget` hinting
+  /// faults until the next scan. Called by the AutoNuma daemon each tick.
+  void ArmAutoNumaWave(uint64_t budget) {
+    for (auto& b : fault_budget_) b = budget;
+    wave_budget_ = budget;
+  }
+
+  /// Charges one logical access of `bytes` at `addr` by the current thread.
+  void Access(sim::VThread* vt, const void* addr, uint64_t bytes, bool write);
+
+  void Read(sim::VThread* vt, const void* addr, uint64_t bytes) {
+    Access(vt, addr, bytes, /*write=*/false);
+  }
+  void Write(sim::VThread* vt, const void* addr, uint64_t bytes) {
+    Access(vt, addr, bytes, /*write=*/true);
+  }
+  /// Pure CPU work (hashing, comparisons) — no memory modelling.
+  void Compute(sim::VThread* vt, uint64_t cycles) { vt->Charge(cycles); }
+
+  /// Called by the OS scheduler when a thread lands on a new core: its TLB
+  /// entries and private-cache contents there are stale/cold.
+  void OnThreadMigrated(int new_core);
+
+  /// Per-thread DRAM traffic split by target node while AutoNUMA sampling is
+  /// on; consumed by the AutoNUMA task balancer.
+  const std::array<uint64_t, kMaxNumaNodes>& NodeTraffic(int vthread_id);
+  void ResetNodeTraffic(int vthread_id);
+
+  /// Invalidate the TLB entry for a migrated page on every core.
+  void ShootdownTlb(uint64_t addr);
+
+ private:
+  void SampleAutoNuma(sim::VThread* vt, Region* region, size_t idx,
+                      int accessor_node, int page_node);
+
+  const topology::Machine* machine_;
+  sim::Engine* engine_;
+  CostModel costs_;
+  perf::SystemCounters* sys_;
+  ContentionModel contention_;
+  std::unique_ptr<SimOS> os_;
+  CacheModel caches_;
+  std::vector<Tlb> tlbs_;  // one per physical core
+  bool autonuma_ = false;
+  std::vector<std::array<uint64_t, kMaxNumaNodes>> node_traffic_;
+  std::vector<uint32_t> fault_stride_;  // per-thread sampling countdown
+  uint64_t migrate_epoch_ = 0;
+  uint64_t migrations_this_epoch_ = 0;
+  std::vector<uint64_t> fault_budget_;  // per-thread, rearmed per scan wave
+  uint64_t wave_budget_ = 1ULL << 40;
+};
+
+}  // namespace mem
+}  // namespace numalab
+
+#endif  // NUMALAB_MEM_MEM_SYSTEM_H_

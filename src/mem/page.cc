@@ -1,0 +1,17 @@
+#include "src/mem/page.h"
+
+namespace numalab {
+namespace mem {
+
+const char* MemPolicyName(MemPolicy p) {
+  switch (p) {
+    case MemPolicy::kFirstTouch: return "FirstTouch";
+    case MemPolicy::kInterleave: return "Interleave";
+    case MemPolicy::kLocalAlloc: return "Localalloc";
+    case MemPolicy::kPreferred: return "Preferred";
+  }
+  return "?";
+}
+
+}  // namespace mem
+}  // namespace numalab

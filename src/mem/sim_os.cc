@@ -1,0 +1,269 @@
+#include "src/mem/sim_os.h"
+
+#include <sys/mman.h>
+
+namespace numalab {
+namespace mem {
+
+SimOS::SimOS(const topology::Machine* machine, sim::Engine* engine,
+             const CostModel* costs, ContentionModel* contention,
+             perf::SystemCounters* sys)
+    : machine_(machine),
+      engine_(engine),
+      costs_(costs),
+      contention_(contention),
+      sys_(sys),
+      slot_region_(kSlabBytes / kSlotBytes, nullptr),
+      node_bound_bytes_(static_cast<size_t>(machine->num_nodes()), 0) {
+  void* p = mmap(nullptr, kSlabBytes, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  NUMALAB_CHECK(p != MAP_FAILED);
+  slab_ = reinterpret_cast<uint64_t>(p);
+}
+
+SimOS::~SimOS() {
+  for (auto& [base, region] : regions_) delete region;
+  munmap(reinterpret_cast<void*>(slab_), kSlabBytes);
+}
+
+Region* SimOS::Map(uint64_t bytes, bool thp_eligible) {
+  uint64_t len = (bytes + kSmallPageBytes - 1) & ~(kSmallPageBytes - 1);
+  uint64_t nslots = (len + kSlotBytes - 1) / kSlotBytes;
+
+  uint64_t slot;
+  auto it = free_slots_.find(nslots);
+  if (it != free_slots_.end() && !it->second.empty()) {
+    slot = it->second.back();
+    it->second.pop_back();
+  } else {
+    slot = bump_slot_;
+    bump_slot_ += nslots;
+    NUMALAB_CHECK(bump_slot_ * kSlotBytes <= kSlabBytes &&
+                  "simulated address space exhausted");
+  }
+
+  auto* region = new Region();
+  region->base = slab_ + slot * kSlotBytes;
+  region->len = len;
+  region->host = reinterpret_cast<char*>(region->base);
+  region->thp_eligible = thp_eligible;
+  region->pages.assign(len / kSmallPageBytes, PageRec{});
+  for (uint64_t s = slot; s < slot + nslots; ++s) {
+    slot_region_[s] = region;
+  }
+
+  // Interleave / LocalAlloc / Preferred bind eagerly; FirstTouch binds at
+  // fault time (Touch).
+  if (policy_ != MemPolicy::kFirstTouch) {
+    int local = 0;
+    if (engine_->current() != nullptr) {
+      local = machine_->NodeOfHwThread(engine_->current()->hw_thread);
+    }
+    for (auto& p : region->pages) {
+      p.node = static_cast<int16_t>(ChooseBindNode(local));
+      node_bound_bytes_[static_cast<size_t>(p.node)] += kSmallPageBytes;
+    }
+  }
+
+  regions_[region->base] = region;
+  sys_->pages_mapped += region->pages.size();
+  sys_->bytes_mapped += len;
+  sys_->bytes_mapped_peak =
+      std::max(sys_->bytes_mapped_peak, sys_->bytes_mapped);
+  return region;
+}
+
+void SimOS::Unmap(Region* region) {
+  for (size_t i = 0; i < region->pages.size(); ++i) DropResident(region, i);
+  for (auto& p : region->pages) {
+    if (p.node >= 0) {
+      node_bound_bytes_[static_cast<size_t>(p.node)] -= kSmallPageBytes;
+    }
+  }
+  sys_->bytes_mapped -= region->len;
+  regions_.erase(region->base);
+
+  uint64_t slot = (region->base - slab_) / kSlotBytes;
+  uint64_t nslots = (region->len + kSlotBytes - 1) / kSlotBytes;
+  for (uint64_t s = slot; s < slot + nslots; ++s) slot_region_[s] = nullptr;
+  free_slots_[nslots].push_back(slot);
+
+  // Return the host pages so long simulations do not accumulate RSS.
+  madvise(region->host, region->len, MADV_DONTNEED);
+  delete region;
+}
+
+void SimOS::MadviseDontNeed(Region* region, uint64_t offset, uint64_t len,
+                            uint64_t now) {
+  uint64_t first = (offset + kSmallPageBytes - 1) / kSmallPageBytes;
+  uint64_t last = (offset + len) / kSmallPageBytes;  // exclusive
+  for (uint64_t i = first; i < last && i < region->pages.size(); ++i) {
+    PageRec& p = region->pages[i];
+    if (p.huge) SplitHuge(region, region->HugeHead(i), now);
+    DropResident(region, i);
+    if (p.node >= 0) {
+      node_bound_bytes_[static_cast<size_t>(p.node)] -= kSmallPageBytes;
+      p.node = -1;
+    }
+    for (auto& v : p.visits) v = 0;
+  }
+}
+
+std::pair<Region*, size_t> SimOS::Lookup(uint64_t addr) const {
+  NUMALAB_CHECK(addr >= slab_ && addr < slab_ + kSlabBytes);
+  Region* r = slot_region_[(addr - slab_) / kSlotBytes];
+  NUMALAB_CHECK(r != nullptr && addr >= r->base && addr < r->end());
+  return {r, r->PageIndex(addr)};
+}
+
+int SimOS::ChooseBindNode(int accessor_node) {
+  switch (policy_) {
+    case MemPolicy::kFirstTouch:
+    case MemPolicy::kLocalAlloc:
+      return accessor_node;
+    case MemPolicy::kInterleave: {
+      int n = interleave_cursor_;
+      interleave_cursor_ = (interleave_cursor_ + 1) % machine_->num_nodes();
+      return n;
+    }
+    case MemPolicy::kPreferred: {
+      uint64_t cap = machine_->node_memory_bytes();
+      if (node_bound_bytes_[static_cast<size_t>(preferred_node_)] < cap) {
+        return preferred_node_;
+      }
+      // Preferred node exhausted: spill round-robin over the others.
+      int n = interleave_cursor_;
+      interleave_cursor_ = (interleave_cursor_ + 1) % machine_->num_nodes();
+      return n == preferred_node_ ? (n + 1) % machine_->num_nodes() : n;
+    }
+  }
+  return accessor_node;
+}
+
+void SimOS::AddResident(Region* region, size_t idx) {
+  PageRec& p = region->pages[idx];
+  if (!p.resident) {
+    p.resident = 1;
+    resident_bytes_ += kSmallPageBytes;
+    resident_peak_ = std::max(resident_peak_, resident_bytes_);
+  }
+}
+
+void SimOS::DropResident(Region* region, size_t idx) {
+  PageRec& p = region->pages[idx];
+  if (p.resident) {
+    p.resident = 0;
+    resident_bytes_ -= kSmallPageBytes;
+  }
+}
+
+int SimOS::Touch(Region* region, size_t idx, int accessor_node) {
+  PageRec& p = region->pages[idx];
+
+  // THP fault path: first touch of a fully untouched 2M-aligned run faults
+  // in one huge page — all 512 subpages, bound together, resident at once.
+  if (thp_fault_alloc_ && !p.huge && !p.resident && p.node < 0 &&
+      region->thp_eligible) {
+    size_t head_idx = region->HugeHead(idx);
+    uint64_t head_addr = region->base + head_idx * kSmallPageBytes;
+    if ((head_addr & (kHugePageBytes - 1)) == 0 &&
+        head_idx + kSmallPagesPerHuge <= region->pages.size()) {
+      bool pristine = true;
+      for (int i = 0; i < kSmallPagesPerHuge; ++i) {
+        const PageRec& q = region->pages[head_idx + static_cast<size_t>(i)];
+        if (q.resident || q.node >= 0 || q.huge) {
+          pristine = false;
+          break;
+        }
+      }
+      if (pristine) {
+        int node = ChooseBindNode(accessor_node);
+        for (int i = 0; i < kSmallPagesPerHuge; ++i) {
+          PageRec& q = region->pages[head_idx + static_cast<size_t>(i)];
+          q.huge = 1;
+          AddResident(region, head_idx + static_cast<size_t>(i));
+        }
+        PageRec& head = region->pages[head_idx];
+        head.node = static_cast<int16_t>(node);
+        node_bound_bytes_[static_cast<size_t>(node)] += kSmallPageBytes;
+        ++sys_->thp_collapses;
+        return node;
+      }
+    }
+  }
+
+  size_t eff = p.huge ? region->HugeHead(idx) : idx;
+  PageRec& head = region->pages[eff];
+  if (head.node < 0) {
+    head.node = static_cast<int16_t>(ChooseBindNode(accessor_node));
+    node_bound_bytes_[static_cast<size_t>(head.node)] += kSmallPageBytes;
+  }
+  AddResident(region, idx);
+  return head.node;
+}
+
+void SimOS::MigratePage(Region* region, size_t idx, int to_node,
+                        uint64_t now) {
+  size_t eff = region->pages[idx].huge ? region->HugeHead(idx) : idx;
+  PageRec& head = region->pages[eff];
+  if (head.node == to_node) return;
+  uint64_t bytes = head.huge ? kHugePageBytes : kSmallPageBytes;
+  if (head.node >= 0) {
+    node_bound_bytes_[static_cast<size_t>(head.node)] -= kSmallPageBytes;
+    contention_->Inject(head.node, now, bytes);
+  }
+  node_bound_bytes_[static_cast<size_t>(to_node)] += kSmallPageBytes;
+  contention_->Inject(to_node, now, bytes);
+  head.node = static_cast<int16_t>(to_node);
+  uint64_t copy = static_cast<uint64_t>(
+      static_cast<double>(bytes) / machine_->mem_ctrl_bytes_per_cycle());
+  head.migrating_until =
+      now + costs_->page_migration_cycles + std::min<uint64_t>(copy, 150000);
+  for (auto& v : head.visits) v = 0;
+  ++sys_->page_migrations;
+}
+
+bool SimOS::TryCollapseHuge(Region* region, size_t head_idx, uint64_t now) {
+  if (head_idx + kSmallPagesPerHuge > region->pages.size()) return false;
+  uint64_t head_addr = region->base + head_idx * kSmallPageBytes;
+  if ((head_addr & (kHugePageBytes - 1)) != 0) return false;
+  PageRec& head = region->pages[head_idx];
+  if (head.huge) return false;
+  int node = head.node;
+  if (node < 0) return false;
+  for (int i = 0; i < kSmallPagesPerHuge; ++i) {
+    const PageRec& p = region->pages[head_idx + static_cast<size_t>(i)];
+    if (!p.resident || p.huge || p.node != node) return false;
+  }
+  for (int i = 0; i < kSmallPagesPerHuge; ++i) {
+    region->pages[head_idx + static_cast<size_t>(i)].huge = 1;
+  }
+  contention_->Inject(node, now, kHugePageBytes);
+  head.migrating_until = now + costs_->thp_collapse_cycles;
+  ++sys_->thp_collapses;
+  return true;
+}
+
+void SimOS::SplitHuge(Region* region, size_t head_idx, uint64_t now) {
+  PageRec& head = region->pages[head_idx];
+  NUMALAB_CHECK(head.huge);
+  for (int i = 0; i < kSmallPagesPerHuge; ++i) {
+    PageRec& p = region->pages[head_idx + static_cast<size_t>(i)];
+    p.huge = 0;
+    if (i > 0 && p.node != head.node) {
+      // Members inherit the run's placement; account pages that were only
+      // represented by the head while the run was huge.
+      if (p.node >= 0) {
+        node_bound_bytes_[static_cast<size_t>(p.node)] -= kSmallPageBytes;
+      }
+      p.node = head.node;
+      node_bound_bytes_[static_cast<size_t>(head.node)] += kSmallPageBytes;
+    }
+  }
+  head.migrating_until =
+      std::max(head.migrating_until, now + costs_->thp_split_cycles);
+  ++sys_->thp_splits;
+}
+
+}  // namespace mem
+}  // namespace numalab

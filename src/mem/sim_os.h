@@ -1,0 +1,131 @@
+// Simulated operating-system memory management: mapping regions for the
+// allocators, binding pages to NUMA nodes per the process memory policy,
+// releasing memory (madvise), migrating pages, and collapsing/splitting
+// transparent huge pages.
+//
+// All simulated mappings are carved from one big reserved host slab
+// (MAP_NORESERVE), so addresses are *deterministic relative to the slab
+// base*: every cache/TLB hash, page index and placement decision replays
+// identically across runs — the property that makes simulated experiments
+// bit-reproducible.
+//
+// SimOS is mechanism only; *when* pages migrate or collapse is decided by
+// the AutoNUMA and khugepaged models in src/osmodel.
+
+#ifndef NUMALAB_MEM_SIM_OS_H_
+#define NUMALAB_MEM_SIM_OS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/mem/contention.h"
+#include "src/mem/cost_model.h"
+#include "src/mem/page.h"
+#include "src/perf/counters.h"
+#include "src/sim/engine.h"
+#include "src/topology/machine.h"
+
+namespace numalab {
+namespace mem {
+
+class SimOS {
+ public:
+  SimOS(const topology::Machine* machine, sim::Engine* engine,
+        const CostModel* costs, ContentionModel* contention,
+        perf::SystemCounters* sys);
+  ~SimOS();
+
+  SimOS(const SimOS&) = delete;
+  SimOS& operator=(const SimOS&) = delete;
+
+  void SetPolicy(MemPolicy policy, int preferred_node = 0) {
+    policy_ = policy;
+    preferred_node_ = preferred_node;
+  }
+  MemPolicy policy() const { return policy_; }
+
+  /// THP fault path: when on, the first touch of an untouched 2M-aligned
+  /// run faults in the whole run as one huge page on one node.
+  void SetThpFaultAlloc(bool on) { thp_fault_alloc_ = on; }
+
+  /// Maps `bytes` (rounded up to 4K; regions are 2M-aligned within the
+  /// slab). Pages are bound immediately for Interleave/LocalAlloc/Preferred
+  /// and lazily (at first touch) for FirstTouch. Does not charge cycles —
+  /// the calling allocator charges its own syscall cost.
+  Region* Map(uint64_t bytes, bool thp_eligible = true);
+
+  /// Unmaps; the address range is recycled for future mappings.
+  void Unmap(Region* region);
+
+  /// MADV_DONTNEED: releases the physical pages of [offset, offset+len);
+  /// intersecting huge pages are split first. Subsequent touches re-fault
+  /// and re-bind per the current policy.
+  void MadviseDontNeed(Region* region, uint64_t offset, uint64_t len,
+                       uint64_t now);
+
+  /// Finds the region/page covering `addr`. CHECK-fails on wild addresses.
+  std::pair<Region*, size_t> Lookup(uint64_t addr) const;
+
+  /// Ensures the page is bound and resident; returns the node serving it
+  /// (the huge-run head's node for collapsed pages).
+  int Touch(Region* region, size_t idx, int accessor_node);
+
+  /// Moves the 4K page (or whole huge run) to `to_node`: kernel copy traffic
+  /// is injected into the contention model and subsequent accesses stall
+  /// until the copy completes. Used by the AutoNUMA model.
+  void MigratePage(Region* region, size_t idx, int to_node, uint64_t now);
+
+  /// Collapses the 2M-aligned run starting at head_idx if all 512 pages are
+  /// resident, bound, not already huge, and on one node. Returns success.
+  bool TryCollapseHuge(Region* region, size_t head_idx, uint64_t now);
+
+  /// Splits a huge run back into 4K pages (keeps their binding).
+  void SplitHuge(Region* region, size_t head_idx, uint64_t now);
+
+  /// All live regions in address order (khugepaged scan).
+  const std::map<uint64_t, Region*>& regions() const { return regions_; }
+
+  /// Deterministic (slab-relative) form of a host address; feed this to
+  /// anything that hashes addresses.
+  uint64_t ToSimAddr(uint64_t host_addr) const { return host_addr - slab_; }
+
+  uint64_t resident_bytes() const { return resident_bytes_; }
+  uint64_t resident_peak() const { return resident_peak_; }
+  uint64_t bound_bytes(int node) const { return node_bound_bytes_[node]; }
+
+ private:
+  static constexpr uint64_t kSlabBytes = 48ULL << 30;  // virtual reservation
+  static constexpr uint64_t kSlotBytes = kHugePageBytes;
+
+  int ChooseBindNode(int accessor_node);
+  void AddResident(Region* region, size_t idx);
+  void DropResident(Region* region, size_t idx);
+
+  const topology::Machine* machine_;
+  sim::Engine* engine_;
+  const CostModel* costs_;
+  ContentionModel* contention_;
+  perf::SystemCounters* sys_;
+
+  MemPolicy policy_ = MemPolicy::kFirstTouch;
+  int preferred_node_ = 0;
+  bool thp_fault_alloc_ = false;
+  int interleave_cursor_ = 0;
+
+  uint64_t slab_ = 0;          ///< host base of the reservation
+  uint64_t bump_slot_ = 0;     ///< next never-used slot
+  std::map<uint64_t, std::vector<uint64_t>> free_slots_;  // nslots -> starts
+  std::vector<Region*> slot_region_;  ///< slot index -> covering region
+  std::map<uint64_t, Region*> regions_;  // key: base address
+
+  uint64_t resident_bytes_ = 0;
+  uint64_t resident_peak_ = 0;
+  std::vector<uint64_t> node_bound_bytes_;
+};
+
+}  // namespace mem
+}  // namespace numalab
+
+#endif  // NUMALAB_MEM_SIM_OS_H_

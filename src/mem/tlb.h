@@ -1,0 +1,84 @@
+// Per-core TLB model.
+//
+// One direct-mapped tag array per page size (4K and 2M), sized to the
+// machine's combined L1+L2 TLB capacity from Table II. Direct-mapped lookup
+// keeps the simulator's per-access host cost tiny while still capturing the
+// property the paper's THP experiments hinge on: TLB *reach* (entries ×
+// page size) versus working-set size.
+
+#ifndef NUMALAB_MEM_TLB_H_
+#define NUMALAB_MEM_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/cost_model.h"
+#include "src/topology/machine.h"
+
+namespace numalab {
+namespace mem {
+
+class Tlb {
+ public:
+  explicit Tlb(const topology::Machine& m) {
+    int cap4k = m.tlb_4k().l1_entries + m.tlb_4k().l2_entries;
+    int cap2m = m.tlb_2m().l1_entries + m.tlb_2m().l2_entries;
+    tags_4k_.assign(static_cast<size_t>(std::max(cap4k, 1)), kEmpty);
+    tags_2m_.assign(static_cast<size_t>(std::max(cap2m, 1)), kEmpty);
+    has_2m_ = cap2m > 0;
+  }
+
+  /// Probes both structures; true on hit.
+  bool Lookup(uint64_t addr) const {
+    uint64_t vpn2m = addr / kHugePageBytes;
+    if (has_2m_ && tags_2m_[Slot(vpn2m, tags_2m_.size())] == vpn2m) {
+      return true;
+    }
+    uint64_t vpn4k = addr / kSmallPageBytes;
+    return tags_4k_[Slot(vpn4k, tags_4k_.size())] == vpn4k;
+  }
+
+  /// Installs the translation after a page walk.
+  void Insert(uint64_t addr, bool huge) {
+    if (huge && has_2m_) {
+      uint64_t vpn = addr / kHugePageBytes;
+      tags_2m_[Slot(vpn, tags_2m_.size())] = vpn;
+    } else {
+      uint64_t vpn = addr / kSmallPageBytes;
+      tags_4k_[Slot(vpn, tags_4k_.size())] = vpn;
+    }
+  }
+
+  /// Drops the translation covering `addr` (page migration / THP remap).
+  void Invalidate(uint64_t addr) {
+    uint64_t vpn2m = addr / kHugePageBytes;
+    size_t s2 = Slot(vpn2m, tags_2m_.size());
+    if (tags_2m_[s2] == vpn2m) tags_2m_[s2] = kEmpty;
+    uint64_t vpn4k = addr / kSmallPageBytes;
+    size_t s4 = Slot(vpn4k, tags_4k_.size());
+    if (tags_4k_[s4] == vpn4k) tags_4k_[s4] = kEmpty;
+  }
+
+  /// Full flush (thread migrated onto this core, or unmap shootdown).
+  void Flush() {
+    std::fill(tags_4k_.begin(), tags_4k_.end(), kEmpty);
+    std::fill(tags_2m_.begin(), tags_2m_.end(), kEmpty);
+  }
+
+ private:
+  static constexpr uint64_t kEmpty = ~0ULL;
+
+  static size_t Slot(uint64_t vpn, size_t size) {
+    // Fibonacci hash spreads sequential VPNs across the array.
+    return static_cast<size_t>((vpn * 0x9e3779b97f4a7c15ULL) >> 32) % size;
+  }
+
+  std::vector<uint64_t> tags_4k_;
+  std::vector<uint64_t> tags_2m_;
+  bool has_2m_ = false;
+};
+
+}  // namespace mem
+}  // namespace numalab
+
+#endif  // NUMALAB_MEM_TLB_H_

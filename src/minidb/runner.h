@@ -1,0 +1,41 @@
+// Runs one TPC-H query on one simulated machine under one system profile
+// and OS configuration — the W5 experiment driver (Figs. 8 and 9).
+
+#ifndef NUMALAB_MINIDB_RUNNER_H_
+#define NUMALAB_MINIDB_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/minidb/queries.h"
+
+namespace numalab {
+namespace minidb {
+
+struct TpchOptions {
+  std::string machine = "A";
+  std::string profile = "columnar-vec";
+  int query = 1;
+  double scale = 0.05;
+  /// false: out-of-the-box OS (no affinity, AutoNUMA+THP on, ptmalloc).
+  /// true:  the paper's tuned W5 setup (Sparse affinity, AutoNUMA off,
+  ///        THP off except for profiles that keep it, First Touch,
+  ///        tbbmalloc).
+  bool tuned = false;
+  std::string allocator_override;  ///< for the Fig. 9 allocator sweep
+  int run_index = 0;
+  uint64_t seed = 19920101;  ///< dataset + scheduler seed (dbgen default)
+};
+
+struct TpchResult {
+  uint64_t cycles = 0;
+  QueryOutput out;
+  int workers = 0;
+};
+
+TpchResult RunTpch(const TpchOptions& options);
+
+}  // namespace minidb
+}  // namespace numalab
+
+#endif  // NUMALAB_MINIDB_RUNNER_H_

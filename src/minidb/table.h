@@ -1,0 +1,118 @@
+// Columnar storage for minidb, the in-memory analytical engine behind the
+// W5 (TPC-H) experiments.
+//
+// Tables are collections of fixed-width columns: int64 (keys, quantities,
+// dates as day numbers, dictionary codes) and double (prices, rates).
+// Column data lives in *simulated* memory (allocated through the run's
+// SimAllocator), so the memory placement policy, allocator behaviour and
+// NUMA topology govern every scan — which is the whole point of W5.
+//
+// Strings are dictionary-coded at generation time; predicates that would
+// match substrings (LIKE) are evaluated against generator-provided code
+// ranges/flags (see tpch_gen.h for the documented simplifications).
+
+#ifndef NUMALAB_MINIDB_TABLE_H_
+#define NUMALAB_MINIDB_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/alloc/allocator.h"
+#include "src/common/logging.h"
+
+namespace numalab {
+namespace minidb {
+
+/// \brief One fixed-width column in simulated memory.
+class Column {
+ public:
+  enum class Type { kInt64, kDouble };
+
+  Column(Type type, uint64_t rows, alloc::SimAllocator* alloc)
+      : type_(type), rows_(rows), alloc_(alloc) {
+    data_ = alloc->Alloc(rows * 8);
+  }
+  ~Column() {
+    if (data_ != nullptr) alloc_->Free(data_);
+  }
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+
+  Type type() const { return type_; }
+  uint64_t rows() const { return rows_; }
+
+  int64_t* i64() {
+    NUMALAB_CHECK(type_ == Type::kInt64);
+    return static_cast<int64_t*>(data_);
+  }
+  const int64_t* i64() const {
+    return const_cast<Column*>(this)->i64();
+  }
+  double* f64() {
+    NUMALAB_CHECK(type_ == Type::kDouble);
+    return static_cast<double*>(data_);
+  }
+  const double* f64() const {
+    return const_cast<Column*>(this)->f64();
+  }
+  const void* raw() const { return data_; }
+
+ private:
+  Type type_;
+  uint64_t rows_;
+  alloc::SimAllocator* alloc_;
+  void* data_ = nullptr;
+};
+
+/// \brief A named set of equally long columns.
+class Table {
+ public:
+  Table(std::string name, uint64_t rows) : name_(std::move(name)),
+                                           rows_(rows) {}
+
+  Column* AddInt64(const std::string& col, alloc::SimAllocator* alloc) {
+    return Add(col, Column::Type::kInt64, alloc);
+  }
+  Column* AddDouble(const std::string& col, alloc::SimAllocator* alloc) {
+    return Add(col, Column::Type::kDouble, alloc);
+  }
+
+  const Column& Col(const std::string& col) const {
+    auto it = columns_.find(col);
+    NUMALAB_CHECK(it != columns_.end());
+    return *it->second;
+  }
+  const int64_t* I64(const std::string& col) const { return Col(col).i64(); }
+  const double* F64(const std::string& col) const { return Col(col).f64(); }
+
+  uint64_t rows() const { return rows_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Column* Add(const std::string& col, Column::Type t,
+              alloc::SimAllocator* alloc) {
+    NUMALAB_CHECK(columns_.count(col) == 0);
+    auto c = std::make_unique<Column>(t, rows_, alloc);
+    Column* raw = c.get();
+    columns_[col] = std::move(c);
+    return raw;
+  }
+
+  std::string name_;
+  uint64_t rows_;
+  std::map<std::string, std::unique_ptr<Column>> columns_;
+};
+
+/// \brief The eight TPC-H tables.
+struct Database {
+  std::unique_ptr<Table> region, nation, supplier, customer, part, partsupp,
+      orders, lineitem;
+};
+
+}  // namespace minidb
+}  // namespace numalab
+
+#endif  // NUMALAB_MINIDB_TABLE_H_

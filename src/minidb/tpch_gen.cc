@@ -1,0 +1,294 @@
+#include "src/minidb/tpch_gen.h"
+
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "src/common/rng.h"
+#include "src/workloads/env.h"
+
+namespace numalab {
+namespace minidb {
+
+namespace {
+
+constexpr int kDaysPerMonth[] = {31, 28, 31, 30, 31, 30,
+                                 31, 31, 30, 31, 30, 31};
+
+bool IsLeap(int year) {
+  return year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+}
+
+}  // namespace
+
+int64_t Date(int year, int month, int day) {
+  NUMALAB_CHECK(year >= 1992 && year <= 1999);
+  int64_t days = 0;
+  for (int y = 1992; y < year; ++y) days += IsLeap(y) ? 366 : 365;
+  for (int m = 1; m < month; ++m) {
+    days += kDaysPerMonth[m - 1];
+    if (m == 2 && IsLeap(year)) ++days;
+  }
+  return days + day - 1;
+}
+
+const HostDb& GenerateTpch(double scale, uint64_t seed) {
+  static std::map<std::pair<double, uint64_t>, std::unique_ptr<HostDb>>
+      cache;
+  auto key = std::make_pair(scale, seed);
+  auto it = cache.find(key);
+  if (it != cache.end()) return *it->second;
+
+  auto db = std::make_unique<HostDb>();
+  HostDb& h = *db;
+  h.scale = scale;
+  Rng rng(seed);
+
+  auto money = [&rng](double lo, double hi) {
+    return lo + rng.NextDouble() * (hi - lo);
+  };
+
+  // --- region / nation (fixed) ---
+  for (int64_t r = 0; r < 5; ++r) {
+    h.r_regionkey.push_back(r);
+    h.r_name.push_back(r);
+  }
+  for (int64_t n = 0; n < 25; ++n) {
+    h.n_nationkey.push_back(n);
+    h.n_name.push_back(n);
+    h.n_regionkey.push_back(n % 5);
+  }
+
+  // --- supplier: 10,000 x SF ---
+  uint64_t suppliers = std::max<uint64_t>(
+      static_cast<uint64_t>(10000 * scale), 25);
+  for (uint64_t i = 0; i < suppliers; ++i) {
+    h.s_suppkey.push_back(static_cast<int64_t>(i + 1));
+    h.s_nationkey.push_back(static_cast<int64_t>(rng.Uniform(25)));
+    h.s_acctbal.push_back(money(-999.99, 9999.99));
+    // Q16's '%Customer%Complaints%' hits ~5 of 10k suppliers.
+    h.s_comment_complaints.push_back(rng.Bernoulli(0.0005) ? 1 : 0);
+  }
+
+  // --- customer: 150,000 x SF ---
+  uint64_t customers = std::max<uint64_t>(
+      static_cast<uint64_t>(150000 * scale), 100);
+  for (uint64_t i = 0; i < customers; ++i) {
+    int64_t nation = static_cast<int64_t>(rng.Uniform(25));
+    h.c_custkey.push_back(static_cast<int64_t>(i + 1));
+    h.c_nationkey.push_back(nation);
+    h.c_acctbal.push_back(money(-999.99, 9999.99));
+    h.c_mktsegment.push_back(static_cast<int64_t>(rng.Uniform(5)));
+    h.c_cntrycode.push_back(nation + 10);  // leading phone digits
+  }
+
+  // --- part: 200,000 x SF ---
+  uint64_t parts = std::max<uint64_t>(
+      static_cast<uint64_t>(200000 * scale), 200);
+  for (uint64_t i = 0; i < parts; ++i) {
+    h.p_partkey.push_back(static_cast<int64_t>(i + 1));
+    h.p_brand.push_back(static_cast<int64_t>(rng.Uniform(25)));
+    h.p_type.push_back(static_cast<int64_t>(rng.Uniform(150)));
+    h.p_size.push_back(static_cast<int64_t>(rng.Uniform(50)) + 1);
+    h.p_container.push_back(static_cast<int64_t>(rng.Uniform(40)));
+    h.p_color.push_back(static_cast<int64_t>(rng.Uniform(92)));
+    h.p_retailprice.push_back(
+        900.0 + static_cast<double>((i + 1) % 1000) / 10.0 +
+        100.0 * static_cast<double>((i + 1) % 10));
+  }
+
+  // --- partsupp: 4 suppliers per part ---
+  for (uint64_t i = 0; i < parts; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      h.ps_partkey.push_back(static_cast<int64_t>(i + 1));
+      uint64_t s = (i + 1 + static_cast<uint64_t>(j) *
+                                (suppliers / 4 + 1)) % suppliers;
+      h.ps_suppkey.push_back(static_cast<int64_t>(s + 1));
+      h.ps_availqty.push_back(static_cast<int64_t>(rng.Uniform(9999)) + 1);
+      h.ps_supplycost.push_back(money(1.0, 1000.0));
+    }
+  }
+
+  // --- orders: 10 per customer (1,500,000 x SF); lineitem: 1..7 each ---
+  uint64_t orders = customers * 10;
+  const int64_t kLastOrderDate = Date(1998, 8, 2);
+  for (uint64_t i = 0; i < orders; ++i) {
+    int64_t okey = static_cast<int64_t>(i + 1);
+    int64_t odate = static_cast<int64_t>(
+        rng.Uniform(static_cast<uint64_t>(kLastOrderDate + 1)));
+    h.o_orderkey.push_back(okey);
+    h.o_custkey.push_back(
+        static_cast<int64_t>(rng.Uniform(customers)) + 1);
+    h.o_orderdate.push_back(odate);
+    h.o_orderpriority.push_back(static_cast<int64_t>(rng.Uniform(5)));
+    h.o_comment_special.push_back(rng.Bernoulli(0.01) ? 1 : 0);
+
+    int nlines = 1 + static_cast<int>(rng.Uniform(7));
+    double total = 0.0;
+    int finished = 0;
+    for (int l = 0; l < nlines; ++l) {
+      int64_t pkey = static_cast<int64_t>(rng.Uniform(parts)) + 1;
+      // One of the part's four suppliers, as in dbgen.
+      int pick = static_cast<int>(rng.Uniform(4));
+      int64_t skey =
+          h.ps_suppkey[static_cast<size_t>((pkey - 1) * 4 + pick)];
+      int64_t qty = static_cast<int64_t>(rng.Uniform(50)) + 1;
+      double price =
+          h.p_retailprice[static_cast<size_t>(pkey - 1)] *
+          static_cast<double>(qty) / 10.0;
+      double disc = static_cast<double>(rng.Uniform(11)) / 100.0;  // 0..0.10
+      double tax = static_cast<double>(rng.Uniform(9)) / 100.0;    // 0..0.08
+      int64_t shipdate = odate + 1 + static_cast<int64_t>(rng.Uniform(121));
+      int64_t commitdate =
+          odate + 30 + static_cast<int64_t>(rng.Uniform(61));
+      int64_t receiptdate =
+          shipdate + 1 + static_cast<int64_t>(rng.Uniform(30));
+
+      h.l_orderkey.push_back(okey);
+      h.l_partkey.push_back(pkey);
+      h.l_suppkey.push_back(skey);
+      h.l_quantity.push_back(qty);
+      h.l_extendedprice.push_back(price);
+      h.l_discount.push_back(disc);
+      h.l_tax.push_back(tax);
+      // RETURNFLAG: R/A for old (shipped before a 1995 cutoff), N after.
+      const int64_t kCutoff = Date(1995, 6, 17);
+      int64_t rf;
+      if (receiptdate <= kCutoff) {
+        rf = rng.Bernoulli(0.5) ? 0 : 1;  // R or A
+      } else {
+        rf = 2;  // N
+      }
+      h.l_returnflag.push_back(rf);
+      int64_t ls = shipdate > kCutoff ? 1 : 0;  // O vs F, approximately
+      h.l_linestatus.push_back(ls);
+      if (ls == 0) ++finished;
+      h.l_shipdate.push_back(shipdate);
+      h.l_commitdate.push_back(commitdate);
+      h.l_receiptdate.push_back(receiptdate);
+      h.l_shipmode.push_back(static_cast<int64_t>(rng.Uniform(7)));
+      h.l_shipinstruct.push_back(static_cast<int64_t>(rng.Uniform(4)));
+      total += price * (1.0 - disc) * (1.0 + tax);
+    }
+    h.o_totalprice.push_back(total);
+    // Order status follows its lines: F if all finished, O if none, else P.
+    h.o_orderstatus.push_back(finished == nlines ? 0
+                              : finished == 0    ? 1
+                                                 : 2);
+  }
+
+  const HostDb& ref = *db;
+  cache[key] = std::move(db);
+  return ref;
+}
+
+namespace {
+
+template <typename T>
+void FillColumn(Table* table, const std::string& name,
+                const std::vector<T>& src, alloc::SimAllocator* alloc,
+                mem::MemSystem* memsys) {
+  Column* col;
+  if constexpr (std::is_same_v<T, int64_t>) {
+    col = table->AddInt64(name, alloc);
+    std::memcpy(col->i64(), src.data(), src.size() * sizeof(T));
+  } else {
+    col = table->AddDouble(name, alloc);
+    std::memcpy(col->f64(), src.data(), src.size() * sizeof(T));
+  }
+  workloads::PretouchAsNode(memsys, col->raw(), src.size() * sizeof(T),
+                            /*node=*/0);
+}
+
+}  // namespace
+
+std::unique_ptr<Database> LoadTpch(const HostDb& h,
+                                   alloc::SimAllocator* alloc,
+                                   mem::MemSystem* memsys) {
+  auto db = std::make_unique<Database>();
+
+  db->region = std::make_unique<Table>("region", h.r_regionkey.size());
+  FillColumn(db->region.get(), "r_regionkey", h.r_regionkey, alloc, memsys);
+  FillColumn(db->region.get(), "r_name", h.r_name, alloc, memsys);
+
+  db->nation = std::make_unique<Table>("nation", h.n_nationkey.size());
+  FillColumn(db->nation.get(), "n_nationkey", h.n_nationkey, alloc, memsys);
+  FillColumn(db->nation.get(), "n_name", h.n_name, alloc, memsys);
+  FillColumn(db->nation.get(), "n_regionkey", h.n_regionkey, alloc, memsys);
+
+  db->supplier = std::make_unique<Table>("supplier", h.s_suppkey.size());
+  FillColumn(db->supplier.get(), "s_suppkey", h.s_suppkey, alloc, memsys);
+  FillColumn(db->supplier.get(), "s_nationkey", h.s_nationkey, alloc,
+             memsys);
+  FillColumn(db->supplier.get(), "s_acctbal", h.s_acctbal, alloc, memsys);
+  FillColumn(db->supplier.get(), "s_comment_complaints",
+             h.s_comment_complaints, alloc, memsys);
+
+  db->customer = std::make_unique<Table>("customer", h.c_custkey.size());
+  FillColumn(db->customer.get(), "c_custkey", h.c_custkey, alloc, memsys);
+  FillColumn(db->customer.get(), "c_nationkey", h.c_nationkey, alloc,
+             memsys);
+  FillColumn(db->customer.get(), "c_acctbal", h.c_acctbal, alloc, memsys);
+  FillColumn(db->customer.get(), "c_mktsegment", h.c_mktsegment, alloc,
+             memsys);
+  FillColumn(db->customer.get(), "c_cntrycode", h.c_cntrycode, alloc,
+             memsys);
+
+  db->part = std::make_unique<Table>("part", h.p_partkey.size());
+  FillColumn(db->part.get(), "p_partkey", h.p_partkey, alloc, memsys);
+  FillColumn(db->part.get(), "p_brand", h.p_brand, alloc, memsys);
+  FillColumn(db->part.get(), "p_type", h.p_type, alloc, memsys);
+  FillColumn(db->part.get(), "p_size", h.p_size, alloc, memsys);
+  FillColumn(db->part.get(), "p_container", h.p_container, alloc, memsys);
+  FillColumn(db->part.get(), "p_color", h.p_color, alloc, memsys);
+  FillColumn(db->part.get(), "p_retailprice", h.p_retailprice, alloc,
+             memsys);
+
+  db->partsupp = std::make_unique<Table>("partsupp", h.ps_partkey.size());
+  FillColumn(db->partsupp.get(), "ps_partkey", h.ps_partkey, alloc, memsys);
+  FillColumn(db->partsupp.get(), "ps_suppkey", h.ps_suppkey, alloc, memsys);
+  FillColumn(db->partsupp.get(), "ps_availqty", h.ps_availqty, alloc,
+             memsys);
+  FillColumn(db->partsupp.get(), "ps_supplycost", h.ps_supplycost, alloc,
+             memsys);
+
+  db->orders = std::make_unique<Table>("orders", h.o_orderkey.size());
+  FillColumn(db->orders.get(), "o_orderkey", h.o_orderkey, alloc, memsys);
+  FillColumn(db->orders.get(), "o_custkey", h.o_custkey, alloc, memsys);
+  FillColumn(db->orders.get(), "o_orderdate", h.o_orderdate, alloc, memsys);
+  FillColumn(db->orders.get(), "o_orderpriority", h.o_orderpriority, alloc,
+             memsys);
+  FillColumn(db->orders.get(), "o_orderstatus", h.o_orderstatus, alloc,
+             memsys);
+  FillColumn(db->orders.get(), "o_comment_special", h.o_comment_special,
+             alloc, memsys);
+  FillColumn(db->orders.get(), "o_totalprice", h.o_totalprice, alloc,
+             memsys);
+
+  db->lineitem = std::make_unique<Table>("lineitem", h.l_orderkey.size());
+  FillColumn(db->lineitem.get(), "l_orderkey", h.l_orderkey, alloc, memsys);
+  FillColumn(db->lineitem.get(), "l_partkey", h.l_partkey, alloc, memsys);
+  FillColumn(db->lineitem.get(), "l_suppkey", h.l_suppkey, alloc, memsys);
+  FillColumn(db->lineitem.get(), "l_quantity", h.l_quantity, alloc, memsys);
+  FillColumn(db->lineitem.get(), "l_returnflag", h.l_returnflag, alloc,
+             memsys);
+  FillColumn(db->lineitem.get(), "l_linestatus", h.l_linestatus, alloc,
+             memsys);
+  FillColumn(db->lineitem.get(), "l_shipdate", h.l_shipdate, alloc, memsys);
+  FillColumn(db->lineitem.get(), "l_commitdate", h.l_commitdate, alloc,
+             memsys);
+  FillColumn(db->lineitem.get(), "l_receiptdate", h.l_receiptdate, alloc,
+             memsys);
+  FillColumn(db->lineitem.get(), "l_shipmode", h.l_shipmode, alloc, memsys);
+  FillColumn(db->lineitem.get(), "l_shipinstruct", h.l_shipinstruct, alloc,
+             memsys);
+  FillColumn(db->lineitem.get(), "l_extendedprice", h.l_extendedprice,
+             alloc, memsys);
+  FillColumn(db->lineitem.get(), "l_discount", h.l_discount, alloc, memsys);
+  FillColumn(db->lineitem.get(), "l_tax", h.l_tax, alloc, memsys);
+
+  return db;
+}
+
+}  // namespace minidb
+}  // namespace numalab

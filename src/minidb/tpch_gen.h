@@ -1,0 +1,84 @@
+// TPC-H dataset generator (dbgen substitute) for minidb.
+//
+// Generates all eight tables at a given scale factor with the spec's
+// cardinalities (scaled), key relationships, value ranges and date rules.
+// Strings are dictionary-coded; where a query needs a substring predicate
+// (LIKE) the generator emits an equivalent dictionary code or boolean flag
+// with the spec's selectivity:
+//   * p_type / p_container / p_brand: full dictionaries (150/40/25 codes).
+//   * p_color: the first word of P_NAME (92 colors) — used by Q9's
+//     "%green%" filter.
+//   * o_comment_special: 1 iff the comment would match Q13's
+//     '%special%requests%' (~1% of orders, per the spec's comment grammar).
+//   * s_comment_complaints: 1 iff it would match Q16's
+//     '%Customer%Complaints%' (~0.05%).
+//   * c_cntrycode: the two leading phone digits (nationkey + 10), used by
+//     Q22's substring().
+//
+// Generation is host-side and cached per (scale, seed); loading copies the
+// columns into simulated memory through the run's allocator, then marks the
+// pages as first-touched by the loader thread (node 0) — matching a real
+// single-process bulk load, whose placement the paper's W5 experiments
+// inherit.
+
+#ifndef NUMALAB_MINIDB_TPCH_GEN_H_
+#define NUMALAB_MINIDB_TPCH_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/mem/mem_system.h"
+#include "src/minidb/table.h"
+
+namespace numalab {
+namespace minidb {
+
+/// Day number (days since 1992-01-01) for a calendar date; supports the
+/// TPC-H range 1992..1998 with its leap years.
+int64_t Date(int year, int month, int day);
+
+/// \brief Host-side (unsimulated) generated dataset.
+struct HostDb {
+  double scale = 0.0;
+  // region
+  std::vector<int64_t> r_regionkey, r_name;
+  // nation
+  std::vector<int64_t> n_nationkey, n_name, n_regionkey;
+  // supplier
+  std::vector<int64_t> s_suppkey, s_nationkey, s_comment_complaints;
+  std::vector<double> s_acctbal;
+  // customer
+  std::vector<int64_t> c_custkey, c_nationkey, c_mktsegment, c_cntrycode;
+  std::vector<double> c_acctbal;
+  // part
+  std::vector<int64_t> p_partkey, p_brand, p_type, p_size, p_container,
+      p_color;
+  std::vector<double> p_retailprice;
+  // partsupp
+  std::vector<int64_t> ps_partkey, ps_suppkey, ps_availqty;
+  std::vector<double> ps_supplycost;
+  // orders
+  std::vector<int64_t> o_orderkey, o_custkey, o_orderdate, o_orderpriority,
+      o_orderstatus, o_comment_special;
+  std::vector<double> o_totalprice;
+  // lineitem
+  std::vector<int64_t> l_orderkey, l_partkey, l_suppkey, l_quantity,
+      l_returnflag, l_linestatus, l_shipdate, l_commitdate, l_receiptdate,
+      l_shipmode, l_shipinstruct;
+  std::vector<double> l_extendedprice, l_discount, l_tax;
+};
+
+/// Generates (or returns the cached) host dataset for `scale`.
+const HostDb& GenerateTpch(double scale, uint64_t seed = 19920101);
+
+/// Copies the host dataset into simulated memory via `alloc` and pretouches
+/// every column as loaded by node 0.
+std::unique_ptr<Database> LoadTpch(const HostDb& host,
+                                   alloc::SimAllocator* alloc,
+                                   mem::MemSystem* memsys);
+
+}  // namespace minidb
+}  // namespace numalab
+
+#endif  // NUMALAB_MINIDB_TPCH_GEN_H_

@@ -1,0 +1,29 @@
+// Operating-system configuration knobs evaluated by the paper (Table IV).
+
+#ifndef NUMALAB_OSMODEL_OS_CONFIG_H_
+#define NUMALAB_OSMODEL_OS_CONFIG_H_
+
+namespace numalab {
+namespace osmodel {
+
+/// \brief Thread placement strategy (Section III-B).
+enum class Affinity {
+  kNone,    ///< OS scheduler free to migrate threads (system default)
+  kSparse,  ///< round-robin across NUMA nodes, maximizing bandwidth
+  kDense,   ///< pack into as few sockets as possible
+};
+
+const char* AffinityName(Affinity a);
+
+/// \brief Kernel feature toggles (Section III-D). Both default to on, as on
+/// stock Linux distributions.
+struct OsConfig {
+  bool autonuma = true;              ///< kernel.numa_balancing
+  bool transparent_hugepages = true; ///< THP "always"
+  Affinity affinity = Affinity::kNone;
+};
+
+}  // namespace osmodel
+}  // namespace numalab
+
+#endif  // NUMALAB_OSMODEL_OS_CONFIG_H_

@@ -1,0 +1,25 @@
+#include "src/perf/counters.h"
+
+#include <sstream>
+
+namespace numalab {
+namespace perf {
+
+std::string PerfReport::ToString() const {
+  std::ostringstream os;
+  os << "cycles=" << threads.cycles
+     << " thread_migrations=" << threads.thread_migrations
+     << " mem_accesses=" << threads.mem_accesses
+     << " llc_misses=" << threads.llc_misses
+     << " local_dram=" << threads.local_dram
+     << " remote_dram=" << threads.remote_dram
+     << " LAR=" << LocalAccessRatio()
+     << " tlb_misses=" << threads.tlb_misses
+     << " page_migrations=" << system.page_migrations
+     << " thp_collapses=" << system.thp_collapses
+     << " bytes_mapped_peak=" << system.bytes_mapped_peak;
+  return os.str();
+}
+
+}  // namespace perf
+}  // namespace numalab

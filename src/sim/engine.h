@@ -1,0 +1,203 @@
+// Deterministic discrete-event simulation engine with virtual threads.
+//
+// numalab runs every workload on *virtual threads*: C++20 coroutines whose
+// progress is measured in virtual cycles rather than wall time. The engine
+// keeps a ready-heap ordered by (virtual clock, thread id) and always resumes
+// the thread that is furthest behind, so thread clocks advance in near
+// lockstep (skew bounded by the checkpoint quantum). Everything runs on one
+// host thread, which makes runs bit-for-bit reproducible — the property the
+// paper's real testbed lacks and the reason Fig. 3 needs ten runs.
+//
+// Workload code charges costs synchronously (VThread::Charge) and yields
+// control at checkpoints:
+//
+//   sim::Task Worker(Env& env) {
+//     for (...) {
+//       ... charge accesses ...
+//       co_await env.engine->Checkpoint();
+//     }
+//   }
+//
+// Timed callbacks (Engine::ScheduleEvent) model kernel daemons — the load
+// balancer, AutoNUMA scans and khugepaged — which run interleaved with the
+// threads in virtual-time order.
+//
+// WARNING: never make the thread body a coroutine *lambda*. A coroutine
+// lambda's captures live in the closure object, not the coroutine frame; the
+// closure dies when Spawn's factory returns and every later resume reads
+// freed memory. Write a named coroutine function and have a plain lambda
+// call it (function parameters are kept alive in the frame).
+
+#ifndef NUMALAB_SIM_ENGINE_H_
+#define NUMALAB_SIM_ENGINE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/perf/counters.h"
+
+namespace numalab {
+namespace sim {
+
+class Engine;
+struct VThread;
+
+/// \brief Coroutine type for virtual-thread bodies. The coroutine starts
+/// suspended; Engine::Spawn owns the handle and destroys it on completion.
+class Task {
+ public:
+  struct promise_type {
+    Engine* engine = nullptr;
+    VThread* vt = nullptr;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Final suspend keeps the frame alive so the engine can observe
+    // completion and destroy the handle itself.
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle(h) {}
+
+  std::coroutine_handle<promise_type> handle;
+};
+
+/// \brief State of a virtual thread.
+enum class VThreadState { kReady, kRunning, kBlocked, kDone };
+
+/// \brief A simulated software thread.
+struct VThread {
+  int id = -1;
+  std::string name;
+  uint64_t clock = 0;          ///< virtual cycle counter
+  int hw_thread = 0;           ///< hardware thread it currently runs on
+  double cycle_scale = 1.0;    ///< >1 when its core is oversubscribed
+  VThreadState state = VThreadState::kReady;
+  std::coroutine_handle<Task::promise_type> handle;
+  perf::ThreadCounters counters;
+  uint64_t run_until = 0;      ///< checkpoint quantum boundary
+  Engine* engine = nullptr;
+
+  /// Adds `cycles` of work, inflated by the oversubscription factor.
+  void Charge(uint64_t cycles) {
+    uint64_t c = static_cast<uint64_t>(static_cast<double>(cycles) *
+                                       cycle_scale);
+    clock += c;
+    counters.cycles += c;
+  }
+};
+
+/// \brief Awaitable returned by Engine::Checkpoint().
+struct CheckpointAwaiter {
+  Engine* engine;
+  bool await_ready() const noexcept;
+  void await_suspend(std::coroutine_handle<> h) noexcept;
+  void await_resume() const noexcept {}
+};
+
+/// \brief The discrete-event scheduler.
+class Engine {
+ public:
+  /// \param quantum checkpoint quantum in cycles: a resumed thread keeps
+  ///        running through checkpoints until its clock advances past the
+  ///        quantum, bounding clock skew between threads. The skew bound is
+  ///        what makes VirtualLock reservations honest, so keep it well
+  ///        under typical lock service times x queue lengths.
+  explicit Engine(uint64_t quantum = 4000) : quantum_(quantum) {}
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Creates a virtual thread. `factory` is invoked with the new VThread and
+  /// must return the coroutine that implements the thread body.
+  VThread* Spawn(const std::string& name, int hw_thread,
+                 const std::function<Task(VThread*)>& factory);
+
+  /// Schedules `fn` at absolute virtual time `when`. Events fire interleaved
+  /// with threads in virtual-time order, but only while live threads remain.
+  void ScheduleEvent(uint64_t when, std::function<void()> fn);
+
+  /// Runs until every spawned thread has completed. Returns the makespan:
+  /// the maximum thread clock.
+  uint64_t Run();
+
+  /// Thread currently executing (only valid inside coroutine bodies /
+  /// allocator callbacks reached from them).
+  VThread* current() const { return current_; }
+
+  /// Suspension point; see CheckpointAwaiter. Cheap when the quantum has not
+  /// elapsed (no suspension).
+  CheckpointAwaiter Checkpoint() { return CheckpointAwaiter{this}; }
+
+  /// Virtual time visible to daemons: the minimum clock over live threads
+  /// (or the last event time when no thread is live).
+  uint64_t MinLiveClock() const;
+
+  /// Wakes a blocked thread at max(vt->clock, at). Used by SimMutex etc.
+  void Wake(VThread* vt, uint64_t at);
+
+  /// Marks the current thread blocked; the caller must arrange a Wake().
+  /// Called from awaitables' await_suspend.
+  void BlockCurrent() {
+    NUMALAB_CHECK(current_ != nullptr);
+    current_->state = VThreadState::kBlocked;
+  }
+
+  const std::vector<std::unique_ptr<VThread>>& threads() const {
+    return threads_;
+  }
+  uint64_t quantum() const { return quantum_; }
+  int live_threads() const { return live_; }
+
+  /// Sums worker counters into a report (system counters are filled by the
+  /// memory/OS models which hold their own SystemCounters).
+  perf::ThreadCounters AggregateCounters() const;
+
+ private:
+  friend struct CheckpointAwaiter;
+
+  struct ReadyCmp {
+    bool operator()(const VThread* a, const VThread* b) const {
+      if (a->clock != b->clock) return a->clock > b->clock;
+      return a->id > b->id;
+    }
+  };
+  struct Event {
+    uint64_t when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventCmp {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void MakeReady(VThread* vt);
+
+  uint64_t quantum_;
+  std::vector<std::unique_ptr<VThread>> threads_;
+  std::priority_queue<VThread*, std::vector<VThread*>, ReadyCmp> ready_;
+  std::priority_queue<Event, std::vector<Event>, EventCmp> events_;
+  uint64_t event_seq_ = 0;
+  VThread* current_ = nullptr;
+  int live_ = 0;
+};
+
+}  // namespace sim
+}  // namespace numalab
+
+#endif  // NUMALAB_SIM_ENGINE_H_

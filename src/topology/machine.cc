@@ -1,0 +1,193 @@
+#include "src/topology/machine.h"
+
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace numalab {
+namespace topology {
+
+Machine::Machine(std::string name, int num_nodes, int cores_per_node,
+                 int smt_per_core, std::vector<std::vector<int>> adjacency,
+                 std::vector<double> latency_factor_by_hops,
+                 double link_bytes_per_cycle, double mem_ctrl_bytes_per_cycle,
+                 uint64_t node_memory_bytes, uint64_t llc_bytes_per_node,
+                 uint64_t private_cache_bytes, TlbSpec tlb_4k, TlbSpec tlb_2m,
+                 uint64_t dram_latency_cycles)
+    : name_(std::move(name)),
+      num_nodes_(num_nodes),
+      cores_per_node_(cores_per_node),
+      smt_per_core_(smt_per_core),
+      latency_factor_by_hops_(std::move(latency_factor_by_hops)),
+      mem_ctrl_bytes_per_cycle_(mem_ctrl_bytes_per_cycle),
+      node_memory_bytes_(node_memory_bytes),
+      llc_bytes_per_node_(llc_bytes_per_node),
+      private_cache_bytes_(private_cache_bytes),
+      tlb_4k_(tlb_4k),
+      tlb_2m_(tlb_2m),
+      dram_latency_cycles_(dram_latency_cycles) {
+  NUMALAB_CHECK(num_nodes_ >= 1);
+  NUMALAB_CHECK(static_cast<int>(adjacency.size()) == num_nodes_);
+
+  // Create directed links; link_index[a][b] gives the id of link a->b.
+  std::vector<std::vector<int>> link_index(
+      num_nodes_, std::vector<int>(num_nodes_, -1));
+  for (int a = 0; a < num_nodes_; ++a) {
+    for (int b : adjacency[a]) {
+      NUMALAB_CHECK(b >= 0 && b < num_nodes_ && b != a);
+      if (link_index[a][b] == -1) {
+        Link l;
+        l.id = static_cast<int>(links_.size());
+        l.from = a;
+        l.to = b;
+        l.bytes_per_cycle = link_bytes_per_cycle;
+        link_index[a][b] = l.id;
+        links_.push_back(l);
+      }
+    }
+  }
+  // The adjacency must be symmetric (every link exists in both directions).
+  for (const Link& l : links_) {
+    NUMALAB_CHECK(link_index[l.to][l.from] != -1);
+  }
+
+  // BFS from every node; parents chosen deterministically (lowest id first).
+  hops_.assign(num_nodes_, std::vector<int>(num_nodes_, -1));
+  routes_.assign(num_nodes_, std::vector<std::vector<int>>(num_nodes_));
+  for (int src = 0; src < num_nodes_; ++src) {
+    std::vector<int> parent(num_nodes_, -1);
+    hops_[src][src] = 0;
+    std::deque<int> q{src};
+    while (!q.empty()) {
+      int u = q.front();
+      q.pop_front();
+      for (int v : adjacency[u]) {
+        if (hops_[src][v] == -1) {
+          hops_[src][v] = hops_[src][u] + 1;
+          parent[v] = u;
+          q.push_back(v);
+        }
+      }
+    }
+    for (int dst = 0; dst < num_nodes_; ++dst) {
+      NUMALAB_CHECK(hops_[src][dst] >= 0);  // graph must be connected
+      // Reconstruct route src -> dst as directed link ids.
+      std::vector<int> rev;
+      for (int v = dst; v != src; v = parent[v]) {
+        rev.push_back(link_index[parent[v]][v]);
+      }
+      routes_[src][dst].assign(rev.rbegin(), rev.rend());
+    }
+  }
+
+  NUMALAB_CHECK(static_cast<int>(latency_factor_by_hops_.size()) >
+                Diameter());
+}
+
+int Machine::Diameter() const {
+  int d = 0;
+  for (const auto& row : hops_) {
+    for (int h : row) d = std::max(d, h);
+  }
+  return d;
+}
+
+std::string Machine::ToString() const {
+  std::ostringstream os;
+  os << "Machine " << name_ << ": " << num_nodes_ << " nodes, "
+     << cores_per_node_ << " cores/node, SMT " << smt_per_core_ << " ("
+     << num_hw_threads() << " hw threads)\n";
+  os << "  links: " << links_.size() << " directed, diameter " << Diameter()
+     << "\n";
+  os << "  latency factor matrix:\n";
+  for (int s = 0; s < num_nodes_; ++s) {
+    os << "   ";
+    for (int d = 0; d < num_nodes_; ++d) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), " %4.2f", LatencyFactor(s, d));
+      os << buf;
+    }
+    os << "\n";
+  }
+  os << "  node memory: " << (node_memory_bytes_ >> 30) << " GiB, LLC "
+     << (llc_bytes_per_node_ >> 20) << " MiB/node, DRAM latency "
+     << dram_latency_cycles_ << " cycles\n";
+  return os.str();
+}
+
+Machine MachineA() {
+  // Twisted ladder: every node has exactly three HyperTransport links and
+  // the diameter is 3 hops, matching the Opteron 8-socket layout in Fig. 1a.
+  std::vector<std::vector<int>> adj = {
+      /*0*/ {1, 2, 5}, /*1*/ {0, 3, 4}, /*2*/ {0, 3, 7}, /*3*/ {1, 2, 6},
+      /*4*/ {1, 5, 6}, /*5*/ {0, 4, 7}, /*6*/ {3, 4, 7}, /*7*/ {2, 5, 6}};
+  return Machine(
+      "A", /*num_nodes=*/8, /*cores_per_node=*/2, /*smt_per_core=*/1,
+      std::move(adj),
+      /*latency_factor_by_hops=*/{1.0, 1.2, 1.4, 1.6},
+      /*link_bytes_per_cycle=*/1.2,       // 2GT/s HT, effective, at 2.8GHz
+      /*mem_ctrl_bytes_per_cycle=*/1.4,   // DDR2-667 effective per node
+      /*node_memory_bytes=*/16ULL << 30,
+      /*llc_bytes_per_node=*/2ULL << 20,
+      /*private_cache_bytes=*/512ULL << 10,
+      /*tlb_4k=*/{32, 512}, /*tlb_2m=*/{8, 0},
+      /*dram_latency_cycles=*/280);
+}
+
+Machine MachineB() {
+  std::vector<std::vector<int>> adj = {
+      {1, 2, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}};
+  return Machine(
+      "B", /*num_nodes=*/4, /*cores_per_node=*/4, /*smt_per_core=*/2,
+      std::move(adj),
+      /*latency_factor_by_hops=*/{1.0, 1.1},
+      /*link_bytes_per_cycle=*/4.5,       // 4.8GT/s QPI, effective
+      /*mem_ctrl_bytes_per_cycle=*/6.0,   // DDR3-1600 effective per node
+      /*node_memory_bytes=*/16ULL << 30,
+      /*llc_bytes_per_node=*/18ULL << 20,
+      /*private_cache_bytes=*/512ULL << 10,
+      /*tlb_4k=*/{64, 512}, /*tlb_2m=*/{32, 0},
+      /*dram_latency_cycles=*/200);
+}
+
+Machine MachineC() {
+  std::vector<std::vector<int>> adj = {
+      {1, 2, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}};
+  return Machine(
+      "C", /*num_nodes=*/4, /*cores_per_node=*/8, /*smt_per_core=*/2,
+      std::move(adj),
+      /*latency_factor_by_hops=*/{1.0, 2.1},
+      /*link_bytes_per_cycle=*/8.0,       // 8GT/s QPI, effective
+      /*mem_ctrl_bytes_per_cycle=*/16.0,  // DDR4-2400 effective per node
+      /*node_memory_bytes=*/768ULL << 30,
+      /*llc_bytes_per_node=*/40ULL << 20,
+      /*private_cache_bytes=*/512ULL << 10,
+      /*tlb_4k=*/{64, 1536}, /*tlb_2m=*/{32, 1536},
+      /*dram_latency_cycles=*/210);
+}
+
+namespace {
+std::map<std::string, Machine>& Registry() {
+  static auto* registry = new std::map<std::string, Machine>();
+  return *registry;
+}
+}  // namespace
+
+void RegisterMachine(const Machine& machine) {
+  Registry().insert_or_assign(machine.name(), machine);
+}
+
+Machine MachineByName(const std::string& name) {
+  auto it = Registry().find(name);
+  if (it != Registry().end()) return it->second;
+  if (name == "A") return MachineA();
+  if (name == "B") return MachineB();
+  if (name == "C") return MachineC();
+  NUMALAB_CHECK(false && "unknown machine name");
+  return MachineA();  // unreachable
+}
+
+}  // namespace topology
+}  // namespace numalab

@@ -1,0 +1,37 @@
+// The memory-allocator microbenchmark of Section III-A8 (Fig. 2).
+//
+// Each thread performs `ops_per_thread` operations against the configured
+// allocator: with probability 1/2 allocate a block (size drawn from a
+// distribution inversely proportional to the size class) and write it;
+// otherwise read and free a random live block. The two paper metrics are
+// returned: wall (virtual) time, and memory overhead = resident peak /
+// requested peak.
+
+#ifndef NUMALAB_WORKLOADS_ALLOC_MICROBENCH_H_
+#define NUMALAB_WORKLOADS_ALLOC_MICROBENCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/workloads/run_config.h"
+
+namespace numalab {
+namespace workloads {
+
+struct MicrobenchResult {
+  uint64_t cycles = 0;
+  double memory_overhead = 0.0;   ///< resident peak / requested peak
+  uint64_t requested_peak = 0;
+  uint64_t resident_peak = 0;
+  uint64_t lock_wait_cycles = 0;
+};
+
+/// Runs the microbenchmark on `machine` with `threads` threads.
+MicrobenchResult RunAllocMicrobench(const std::string& allocator,
+                                    const std::string& machine, int threads,
+                                    uint64_t ops_per_thread, uint64_t seed);
+
+}  // namespace workloads
+}  // namespace numalab
+
+#endif  // NUMALAB_WORKLOADS_ALLOC_MICROBENCH_H_

@@ -1,0 +1,81 @@
+// Env — the handle workload code uses to interact with the simulation:
+// charging memory accesses and compute, allocating through the configured
+// allocator, and yielding at checkpoints. One Env exists per worker
+// coroutine.
+
+#ifndef NUMALAB_WORKLOADS_ENV_H_
+#define NUMALAB_WORKLOADS_ENV_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/alloc/allocator.h"
+#include "src/mem/mem_system.h"
+#include "src/sim/engine.h"
+
+namespace numalab {
+namespace workloads {
+
+struct Env {
+  sim::Engine* engine = nullptr;
+  mem::MemSystem* mem = nullptr;
+  alloc::SimAllocator* alloc = nullptr;
+  sim::VThread* self = nullptr;
+  int worker_index = 0;
+  int num_workers = 1;
+
+  void Read(const void* p, size_t n) { mem->Read(self, p, n); }
+  void Write(const void* p, size_t n) { mem->Write(self, p, n); }
+  void Compute(uint64_t cycles) { self->Charge(cycles); }
+  sim::CheckpointAwaiter Checkpoint() { return engine->Checkpoint(); }
+
+  void* Alloc(size_t n) { return alloc->Alloc(n); }
+  void Free(void* p) { alloc->Free(p); }
+};
+
+/// \brief STL allocator adapter so containers used by workloads (group
+/// value vectors, output buffers) allocate through the simulated allocator.
+template <typename T>
+class SimStlAlloc {
+ public:
+  using value_type = T;
+
+  explicit SimStlAlloc(alloc::SimAllocator* a) : a_(a) {}
+  template <typename U>
+  SimStlAlloc(const SimStlAlloc<U>& o) : a_(o.raw()) {}  // NOLINT implicit
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(a_->Alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t) { a_->Free(p); }
+
+  alloc::SimAllocator* raw() const { return a_; }
+
+  bool operator==(const SimStlAlloc& o) const { return a_ == o.a_; }
+
+ private:
+  alloc::SimAllocator* a_;
+};
+
+/// Marks every page backing [p, p+len) as touched by `node` — used after
+/// host-side dataset generation to model the single-threaded producer that
+/// first-touched the input (the classic first-touch pathology the paper's
+/// Interleave results hinge on).
+inline void PretouchAsNode(mem::MemSystem* mem, const void* p, size_t len,
+                           int node) {
+  uint64_t addr = reinterpret_cast<uint64_t>(p);
+  uint64_t end = addr + len;
+  for (uint64_t a = addr; a < end; a += mem::kSmallPageBytes) {
+    auto [region, idx] = mem->os()->Lookup(a);
+    mem->os()->Touch(region, idx, node);
+  }
+  if (len > 0) {
+    auto [region, idx] = mem->os()->Lookup(end - 1);
+    mem->os()->Touch(region, idx, node);
+  }
+}
+
+}  // namespace workloads
+}  // namespace numalab
+
+#endif  // NUMALAB_WORKLOADS_ENV_H_

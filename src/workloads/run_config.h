@@ -1,0 +1,76 @@
+// RunConfig / RunResult — the experiment parameter space of Table IV and
+// the measurements each simulated run produces.
+
+#ifndef NUMALAB_WORKLOADS_RUN_CONFIG_H_
+#define NUMALAB_WORKLOADS_RUN_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/mem/cost_model.h"
+#include "src/mem/page.h"
+#include "src/osmodel/os_config.h"
+#include "src/perf/counters.h"
+
+namespace numalab {
+namespace workloads {
+
+/// \brief Dataset distributions for the aggregation workloads (Sec. IV-B).
+enum class Dataset {
+  kMovingCluster,  ///< keys from a gradually sliding window (W1 default)
+  kSequential,     ///< incrementing segments, transactional-style
+  kZipf,           ///< Zipfian, exponent 0.5 (W2 default)
+};
+
+const char* DatasetName(Dataset d);
+
+/// \brief One cell of the experiment grid (Table IV). Defaults are the
+/// paper's system defaults (OS scheduler free, First Touch, ptmalloc,
+/// AutoNUMA+THP on) so a default-constructed config reproduces the
+/// out-of-the-box environment.
+struct RunConfig {
+  std::string machine = "A";
+  int threads = 16;
+  osmodel::Affinity affinity = osmodel::Affinity::kNone;
+  mem::MemPolicy policy = mem::MemPolicy::kFirstTouch;
+  int preferred_node = 0;
+  std::string allocator = "ptmalloc";
+  bool autonuma = true;
+  bool thp = true;
+
+  Dataset dataset = Dataset::kMovingCluster;
+  /// Aggregation inputs, scaled from the paper's 100M records / 1M groups
+  /// (ratio preserved) so a simulated run completes in seconds.
+  uint64_t num_records = 8'000'000;
+  uint64_t cardinality = 80'000;
+  /// Join inputs, keeping the paper's 1:16 build:probe ratio (16M:256M).
+  uint64_t build_rows = 250'000;
+  uint64_t probe_rows = 4'000'000;
+
+  uint64_t seed = 42;
+  int run_index = 0;  ///< perturbs OS-scheduler randomness across runs
+  uint64_t quantum = 4000;  ///< engine checkpoint quantum (clock-skew bound)
+
+  mem::CostModel costs;  ///< ablation switches live here
+};
+
+/// \brief Outcome of one simulated run.
+struct RunResult {
+  uint64_t cycles = 0;           ///< virtual makespan
+  perf::PerfReport report;
+  uint64_t requested_peak = 0;   ///< allocator-level peak requested bytes
+  uint64_t resident_peak = 0;    ///< simulated RSS peak
+  uint64_t checksum = 0;         ///< workload-defined result digest
+  uint64_t aux_cycles = 0;       ///< e.g. index build time for W4
+
+  double MemoryOverhead() const {
+    if (requested_peak == 0) return 0.0;
+    return static_cast<double>(resident_peak) /
+           static_cast<double>(requested_peak);
+  }
+};
+
+}  // namespace workloads
+}  // namespace numalab
+
+#endif  // NUMALAB_WORKLOADS_RUN_CONFIG_H_

@@ -1,0 +1,73 @@
+#include "src/workloads/sim_context.h"
+
+namespace numalab {
+namespace workloads {
+
+const char* DatasetName(Dataset d) {
+  switch (d) {
+    case Dataset::kMovingCluster: return "MovingCluster";
+    case Dataset::kSequential: return "Sequential";
+    case Dataset::kZipf: return "Zipf";
+  }
+  return "?";
+}
+
+SimContext::SimContext(const RunConfig& config)
+    : config_(config),
+      machine_(topology::MachineByName(config.machine)),
+      engine_(config.quantum),
+      memsys_(std::make_unique<mem::MemSystem>(&machine_, &engine_,
+                                               config.costs, &sys_)),
+      sched_(&machine_, &engine_, memsys_.get(), config.affinity,
+             config.seed + static_cast<uint64_t>(config.run_index) * 7919,
+             &sys_),
+      barrier_(&engine_, config.threads) {
+  memsys_->os()->SetPolicy(config.policy, config.preferred_node);
+
+  alloc::AllocEnv aenv{&engine_, memsys_->os(), &memsys_->costs()};
+  allocator_ = alloc::MakeAllocator(config.allocator, aenv, &machine_);
+
+  if (config.thp) {
+    memsys_->os()->SetThpFaultAlloc(true);
+    thp_ = std::make_unique<osmodel::ThpDaemon>(&engine_, memsys_.get());
+    thp_->Start();
+  }
+  if (config.autonuma) {
+    autonuma_ = std::make_unique<osmodel::AutoNuma>(&machine_, &engine_,
+                                                    memsys_.get(), &sched_);
+    autonuma_->Start();
+  }
+  sched_.Start();
+}
+
+void SimContext::SpawnWorkers(const std::function<sim::Task(Env&)>& body) {
+  for (int i = 0; i < config_.threads; ++i) {
+    auto env = std::make_unique<Env>();
+    env->engine = &engine_;
+    env->mem = memsys_.get();
+    env->alloc = allocator_.get();
+    env->worker_index = i;
+    env->num_workers = config_.threads;
+    Env* raw = env.get();
+    envs_.push_back(std::move(env));
+
+    int hw = sched_.Place(i);
+    sim::VThread* vt = engine_.Spawn(
+        "worker" + std::to_string(i), hw, [raw, &body](sim::VThread* vt) {
+          raw->self = vt;
+          return body(*raw);
+        });
+    sched_.Register(vt);
+  }
+}
+
+void SimContext::Finish(RunResult* result) {
+  result->cycles = engine_.Run();
+  result->report.threads = engine_.AggregateCounters();
+  result->report.system = sys_;
+  result->requested_peak = allocator_->stats().requested_peak;
+  result->resident_peak = memsys_->os()->resident_peak();
+}
+
+}  // namespace workloads
+}  // namespace numalab

@@ -1,0 +1,72 @@
+// SimContext assembles one complete simulated run: machine, engine, memory
+// system, OS models, allocator — wired per a RunConfig — and spawns worker
+// coroutines.
+
+#ifndef NUMALAB_WORKLOADS_SIM_CONTEXT_H_
+#define NUMALAB_WORKLOADS_SIM_CONTEXT_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/alloc/allocator.h"
+#include "src/mem/mem_system.h"
+#include "src/osmodel/autonuma.h"
+#include "src/osmodel/thp.h"
+#include "src/osmodel/thread_sched.h"
+#include "src/sim/engine.h"
+#include "src/sim/sync.h"
+#include "src/workloads/env.h"
+#include "src/workloads/run_config.h"
+
+namespace numalab {
+namespace workloads {
+
+class SimContext {
+ public:
+  explicit SimContext(const RunConfig& config);
+
+  /// Spawns `config.threads` workers placed per the affinity strategy. The
+  /// body factory receives each worker's Env (owned by the context; valid
+  /// for the run's lifetime).
+  void SpawnWorkers(const std::function<sim::Task(Env&)>& body);
+
+  /// Runs to completion; fills the non-workload fields of `result`.
+  void Finish(RunResult* result);
+
+  const RunConfig& config() const { return config_; }
+  const topology::Machine& machine() const { return machine_; }
+  sim::Engine* engine() { return &engine_; }
+  mem::MemSystem* memsys() { return memsys_.get(); }
+  alloc::SimAllocator* allocator() { return allocator_.get(); }
+  osmodel::ThreadScheduler* scheduler() { return &sched_; }
+  sim::SimBarrier* barrier() { return &barrier_; }
+
+  /// Allocates + pretouches an input array as if a single producer thread
+  /// on node 0 generated it (see PretouchAsNode).
+  template <typename T>
+  T* AllocInput(size_t count) {
+    T* p = static_cast<T*>(allocator_->Alloc(count * sizeof(T)));
+    return p;
+  }
+  void PretouchInput(const void* p, size_t len) {
+    PretouchAsNode(memsys_.get(), p, len, /*node=*/0);
+  }
+
+ private:
+  RunConfig config_;
+  topology::Machine machine_;
+  sim::Engine engine_;
+  perf::SystemCounters sys_;
+  std::unique_ptr<mem::MemSystem> memsys_;  // must precede sched_
+  osmodel::ThreadScheduler sched_;
+  std::unique_ptr<alloc::SimAllocator> allocator_;
+  std::unique_ptr<osmodel::AutoNuma> autonuma_;
+  std::unique_ptr<osmodel::ThpDaemon> thp_;
+  sim::SimBarrier barrier_;
+  std::vector<std::unique_ptr<Env>> envs_;
+};
+
+}  // namespace workloads
+}  // namespace numalab
+
+#endif  // NUMALAB_WORKLOADS_SIM_CONTEXT_H_

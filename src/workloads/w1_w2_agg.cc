@@ -1,0 +1,177 @@
+// W1 (holistic / MEDIAN) and W2 (distributive / COUNT) hash aggregation.
+//
+// Both build a shared global hash table keyed by the group column. W1
+// stores every value per group (the holistic aggregate needs the whole
+// input) in allocator-backed growable arrays — the allocation-heavy
+// behaviour the paper's Fig. 6a-c exploits. W2 keeps one counter per group
+// and is placement-bound rather than allocator-bound (Fig. 6d-f).
+
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/datagen/datagen.h"
+#include "src/index/hash_table.h"
+#include "src/workloads/sim_context.h"
+#include "src/workloads/workloads.h"
+
+namespace numalab {
+namespace workloads {
+namespace {
+
+/// Growable per-group value array, managed through the simulated allocator
+/// so growth and copy costs are measured.
+struct GroupVec {
+  int64_t* data = nullptr;
+  uint32_t size = 0;
+  uint32_t cap = 0;
+};
+
+void Append(Env& env, GroupVec* v, int64_t x) {
+  if (v->size == v->cap) {
+    uint32_t new_cap = v->cap == 0 ? 8 : v->cap * 2;
+    auto* nd = static_cast<int64_t*>(env.Alloc(new_cap * sizeof(int64_t)));
+    if (v->size > 0) {
+      env.Read(v->data, v->size * sizeof(int64_t));
+      env.Write(nd, v->size * sizeof(int64_t));
+      std::memcpy(nd, v->data, v->size * sizeof(int64_t));
+      env.Free(v->data);
+    }
+    v->data = nd;
+    v->cap = new_cap;
+  }
+  v->data[v->size] = x;
+  env.Write(&v->data[v->size], sizeof(int64_t));
+  ++v->size;
+}
+
+struct AggShared {
+  const datagen::Record* input = nullptr;
+  uint64_t n = 0;
+  SimContext* ctx = nullptr;
+  std::vector<uint64_t> checksums;  // per worker
+};
+
+using W1Table = index::ConcurrentHashTable<GroupVec>;
+using W2Table = index::ConcurrentHashTable<uint64_t>;
+
+sim::Task W1Worker(Env& env, AggShared& shared, W1Table& table) {
+  uint64_t per = shared.n / static_cast<uint64_t>(env.num_workers);
+  uint64_t lo = per * static_cast<uint64_t>(env.worker_index);
+  uint64_t hi = env.worker_index == env.num_workers - 1
+                    ? shared.n
+                    : lo + per;
+
+  // Phase 1: build the shared table, appending every value to its group.
+  for (uint64_t i = lo; i < hi; ++i) {
+    env.Read(&shared.input[i], sizeof(datagen::Record));
+    auto* entry = table.Upsert(env, shared.input[i].key);
+    Append(env, &entry->value, shared.input[i].val);
+    co_await env.Checkpoint();
+  }
+  co_await shared.ctx->barrier()->Arrive();
+
+  // Phase 2: compute MEDIAN per group; groups partitioned by bucket range.
+  uint64_t buckets = table.nbuckets();
+  uint64_t bper = buckets / static_cast<uint64_t>(env.num_workers);
+  uint64_t blo = bper * static_cast<uint64_t>(env.worker_index);
+  uint64_t bhi = env.worker_index == env.num_workers - 1
+                     ? buckets
+                     : blo + bper;
+  uint64_t checksum = 0;
+  uint64_t visited = 0;
+  table.ForEachInBuckets(env, blo, bhi, [&](W1Table::Entry* e) {
+    GroupVec& v = e->value;
+    if (v.size == 0) return;
+    env.Read(v.data, v.size * sizeof(int64_t));
+    // nth_element is O(n) with a non-trivial constant.
+    env.Compute(static_cast<uint64_t>(v.size) * 6);
+    size_t mid = (v.size - 1) / 2;
+    std::nth_element(v.data, v.data + mid, v.data + v.size);
+    checksum += static_cast<uint64_t>(v.data[mid]);
+    ++visited;
+  });
+  // ForEachInBuckets runs synchronously; yield once afterwards.
+  co_await env.Checkpoint();
+  shared.checksums[static_cast<size_t>(env.worker_index)] = checksum;
+}
+
+sim::Task W2Worker(Env& env, AggShared& shared, W2Table& table) {
+  uint64_t per = shared.n / static_cast<uint64_t>(env.num_workers);
+  uint64_t lo = per * static_cast<uint64_t>(env.worker_index);
+  uint64_t hi = env.worker_index == env.num_workers - 1
+                    ? shared.n
+                    : lo + per;
+
+  for (uint64_t i = lo; i < hi; ++i) {
+    env.Read(&shared.input[i], sizeof(datagen::Record));
+    auto* entry = table.Upsert(env, shared.input[i].key);
+    ++entry->value;
+    env.Write(&entry->value, sizeof(uint64_t));
+    co_await env.Checkpoint();
+  }
+  co_await shared.ctx->barrier()->Arrive();
+
+  uint64_t buckets = table.nbuckets();
+  uint64_t bper = buckets / static_cast<uint64_t>(env.num_workers);
+  uint64_t blo = bper * static_cast<uint64_t>(env.worker_index);
+  uint64_t bhi = env.worker_index == env.num_workers - 1
+                     ? buckets
+                     : blo + bper;
+  uint64_t checksum = 0;
+  table.ForEachInBuckets(env, blo, bhi,
+                         [&](W2Table::Entry* e) { checksum += e->value; });
+  co_await env.Checkpoint();
+  shared.checksums[static_cast<size_t>(env.worker_index)] = checksum;
+}
+
+template <typename Table, typename WorkerFn>
+RunResult RunAggregation(const RunConfig& config, WorkerFn&& worker) {
+  SimContext ctx(config);
+
+  std::vector<datagen::Record> host_input = datagen::MakeAggregationInput(
+      config.dataset, config.num_records, config.cardinality, config.seed);
+
+  auto* input = ctx.AllocInput<datagen::Record>(host_input.size());
+  std::memcpy(input, host_input.data(),
+              host_input.size() * sizeof(datagen::Record));
+  ctx.PretouchInput(input, host_input.size() * sizeof(datagen::Record));
+
+  Env setup_env;
+  setup_env.engine = ctx.engine();
+  setup_env.mem = ctx.memsys();
+  setup_env.alloc = ctx.allocator();
+  Table table(setup_env, config.cardinality * 2);
+
+  AggShared shared;
+  shared.input = input;
+  shared.n = host_input.size();
+  shared.ctx = &ctx;
+  shared.checksums.assign(static_cast<size_t>(config.threads), 0);
+
+  ctx.SpawnWorkers(
+      [&](Env& env) { return worker(env, shared, table); });
+
+  RunResult result;
+  ctx.Finish(&result);
+  for (uint64_t c : shared.checksums) result.checksum += c;
+  return result;
+}
+
+}  // namespace
+
+RunResult RunW1HolisticAggregation(const RunConfig& config) {
+  return RunAggregation<W1Table>(
+      config, [](Env& env, AggShared& shared, W1Table& table) {
+        return W1Worker(env, shared, table);
+      });
+}
+
+RunResult RunW2DistributiveAggregation(const RunConfig& config) {
+  return RunAggregation<W2Table>(
+      config, [](Env& env, AggShared& shared, W2Table& table) {
+        return W2Worker(env, shared, table);
+      });
+}
+
+}  // namespace workloads
+}  // namespace numalab

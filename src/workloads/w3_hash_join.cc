@@ -1,0 +1,133 @@
+// W3 — non-partitioning hash join (Blanas et al. [15]).
+//
+// Build a shared hash table on the small relation (all workers insert their
+// partition), then probe it with the large relation, materializing matches
+// into per-thread output buffers. The 1:16 size ratio mimics a decision-
+// support fact/dimension join. Allocation-heavy on both sides (one entry
+// per build tuple, growing output buffers), which is why it shows the
+// paper's largest allocator speedups (Fig. 6g-i).
+
+#include <cstring>
+
+#include "src/datagen/datagen.h"
+#include "src/index/hash_table.h"
+#include "src/workloads/sim_context.h"
+#include "src/workloads/workloads.h"
+
+namespace numalab {
+namespace workloads {
+namespace {
+
+using JoinTable = index::ConcurrentHashTable<uint64_t>;
+
+struct OutBuf {
+  uint64_t* data = nullptr;
+  uint64_t size = 0;
+  uint64_t cap = 0;
+};
+
+void Emit(Env& env, OutBuf* out, uint64_t a, uint64_t b, uint64_t c) {
+  if (out->size + 3 > out->cap) {
+    uint64_t new_cap = out->cap == 0 ? 1024 : out->cap * 2;
+    auto* nd = static_cast<uint64_t*>(env.Alloc(new_cap * sizeof(uint64_t)));
+    if (out->size > 0) {
+      env.Read(out->data, out->size * sizeof(uint64_t));
+      env.Write(nd, out->size * sizeof(uint64_t));
+      std::memcpy(nd, out->data, out->size * sizeof(uint64_t));
+      env.Free(out->data);
+    }
+    out->data = nd;
+    out->cap = new_cap;
+  }
+  out->data[out->size] = a;
+  out->data[out->size + 1] = b;
+  out->data[out->size + 2] = c;
+  env.Write(&out->data[out->size], 3 * sizeof(uint64_t));
+  out->size += 3;
+}
+
+struct JoinShared {
+  const datagen::JoinTuple* build = nullptr;
+  const datagen::JoinTuple* probe = nullptr;
+  uint64_t build_n = 0;
+  uint64_t probe_n = 0;
+  SimContext* ctx = nullptr;
+  std::vector<uint64_t> matches;  // per worker
+};
+
+sim::Task W3Worker(Env& env, JoinShared& shared, JoinTable& table) {
+  // Build phase over the small relation.
+  uint64_t per = shared.build_n / static_cast<uint64_t>(env.num_workers);
+  uint64_t lo = per * static_cast<uint64_t>(env.worker_index);
+  uint64_t hi = env.worker_index == env.num_workers - 1 ? shared.build_n
+                                                        : lo + per;
+  for (uint64_t i = lo; i < hi; ++i) {
+    env.Read(&shared.build[i], sizeof(datagen::JoinTuple));
+    auto* e = table.Upsert(env, shared.build[i].key);
+    e->value = shared.build[i].payload;
+    env.Write(&e->value, sizeof(uint64_t));
+    co_await env.Checkpoint();
+  }
+  co_await shared.ctx->barrier()->Arrive();
+
+  // Probe phase over the large relation.
+  per = shared.probe_n / static_cast<uint64_t>(env.num_workers);
+  lo = per * static_cast<uint64_t>(env.worker_index);
+  hi = env.worker_index == env.num_workers - 1 ? shared.probe_n : lo + per;
+  OutBuf out;
+  uint64_t found = 0;
+  for (uint64_t i = lo; i < hi; ++i) {
+    env.Read(&shared.probe[i], sizeof(datagen::JoinTuple));
+    if (auto* e = table.Find(env, shared.probe[i].key)) {
+      Emit(env, &out, shared.probe[i].key, e->value,
+           shared.probe[i].payload);
+      ++found;
+    }
+    co_await env.Checkpoint();
+  }
+  shared.matches[static_cast<size_t>(env.worker_index)] = found;
+}
+
+}  // namespace
+
+RunResult RunW3HashJoin(const RunConfig& config) {
+  SimContext ctx(config);
+
+  std::vector<datagen::JoinTuple> host_build, host_probe;
+  datagen::MakeJoinInput(config.build_rows, config.probe_rows, config.seed,
+                         &host_build, &host_probe);
+
+  auto* build = ctx.AllocInput<datagen::JoinTuple>(host_build.size());
+  auto* probe = ctx.AllocInput<datagen::JoinTuple>(host_probe.size());
+  std::memcpy(build, host_build.data(),
+              host_build.size() * sizeof(datagen::JoinTuple));
+  std::memcpy(probe, host_probe.data(),
+              host_probe.size() * sizeof(datagen::JoinTuple));
+  ctx.PretouchInput(build, host_build.size() * sizeof(datagen::JoinTuple));
+  ctx.PretouchInput(probe, host_probe.size() * sizeof(datagen::JoinTuple));
+
+  Env setup_env;
+  setup_env.engine = ctx.engine();
+  setup_env.mem = ctx.memsys();
+  setup_env.alloc = ctx.allocator();
+  JoinTable table(setup_env, config.build_rows * 2);
+
+  JoinShared shared;
+  shared.build = build;
+  shared.probe = probe;
+  shared.build_n = host_build.size();
+  shared.probe_n = host_probe.size();
+  shared.ctx = &ctx;
+  shared.matches.assign(static_cast<size_t>(config.threads), 0);
+
+  ctx.SpawnWorkers(
+      [&](Env& env) { return W3Worker(env, shared, table); });
+
+  RunResult result;
+  ctx.Finish(&result);
+  for (uint64_t m : shared.matches) result.checksum += m;
+  return result;
+}
+
+}  // namespace workloads
+}  // namespace numalab

@@ -1,0 +1,34 @@
+// Entry points for the paper's microbenchmark workloads (Table I):
+//
+//   W1 — holistic aggregation  (GROUP BY key, MEDIAN(val), shared hashtable)
+//   W2 — distributive aggregation (GROUP BY key, COUNT(val))
+//   W3 — non-partitioning hash join (1:16 tables, Blanas et al.)
+//   W4 — index nested-loop join (ART / Masstree / B+tree / SkipList)
+//
+// Each runs one fully configured simulation (SimContext) and returns the
+// virtual-cycle makespan plus counters.
+
+#ifndef NUMALAB_WORKLOADS_WORKLOADS_H_
+#define NUMALAB_WORKLOADS_WORKLOADS_H_
+
+#include <string>
+
+#include "src/workloads/run_config.h"
+
+namespace numalab {
+namespace workloads {
+
+RunResult RunW1HolisticAggregation(const RunConfig& config);
+RunResult RunW2DistributiveAggregation(const RunConfig& config);
+RunResult RunW3HashJoin(const RunConfig& config);
+
+/// W4. `index_name` is one of "art", "masstree", "btree", "skiplist".
+/// RunResult::aux_cycles holds the (single-threaded) index build time; the
+/// main cycle count is the parallel join time, as in Fig. 7.
+RunResult RunW4IndexJoin(const RunConfig& config,
+                         const std::string& index_name);
+
+}  // namespace workloads
+}  // namespace numalab
+
+#endif  // NUMALAB_WORKLOADS_WORKLOADS_H_

@@ -1,0 +1,86 @@
+// Tests for the Fig. 10 decision-flowchart encoding.
+
+#include <gtest/gtest.h>
+
+#include "src/advisor/advisor.h"
+
+namespace numalab {
+namespace advisor {
+namespace {
+
+TEST(Advisor, MainPathMatchesPaperRecommendations) {
+  // The paper's central scenario: unmanaged threads, bandwidth-bound,
+  // superuser, undefined placement, allocation-heavy, memory plentiful.
+  Situation s;
+  s.thread_placement_managed = false;
+  s.bandwidth_bound = true;
+  s.superuser = true;
+  s.memory_placement_defined = false;
+  s.allocation_heavy = true;
+  s.free_memory_constrained = false;
+
+  Advice a = Advise(s);
+  EXPECT_EQ(a.affinity, osmodel::Affinity::kSparse);
+  EXPECT_TRUE(a.disable_autonuma);
+  EXPECT_TRUE(a.disable_thp);
+  EXPECT_EQ(a.policy, mem::MemPolicy::kInterleave);
+  EXPECT_EQ(a.allocator, "tbbmalloc");
+}
+
+TEST(Advisor, DenseForLatencyBoundWork) {
+  Situation s;
+  s.bandwidth_bound = false;
+  EXPECT_EQ(Advise(s).affinity, osmodel::Affinity::kDense);
+}
+
+TEST(Advisor, JemallocWhenMemoryConstrained) {
+  Situation s;
+  s.allocation_heavy = true;
+  s.free_memory_constrained = true;
+  EXPECT_EQ(Advise(s).allocator, "jemalloc");
+}
+
+TEST(Advisor, NoSuperuserStillGetsInterleave) {
+  Situation s;
+  s.superuser = false;
+  Advice a = Advise(s);
+  EXPECT_FALSE(a.disable_autonuma);
+  EXPECT_EQ(a.policy, mem::MemPolicy::kInterleave);
+}
+
+TEST(Advisor, DefaultAllocatorWhenNotAllocationHeavy) {
+  Situation s;
+  s.allocation_heavy = false;
+  EXPECT_EQ(Advise(s).allocator, "ptmalloc");
+}
+
+TEST(Advisor, ApplyAdviceOverridesOsKnobs) {
+  Situation s;
+  workloads::RunConfig base;  // defaults: autonuma+thp on, kNone
+  base.threads = 8;
+  workloads::RunConfig tuned = ApplyAdvice(Advise(s), base);
+  EXPECT_FALSE(tuned.autonuma);
+  EXPECT_FALSE(tuned.thp);
+  EXPECT_EQ(tuned.affinity, osmodel::Affinity::kSparse);
+  EXPECT_EQ(tuned.threads, 8);  // workload knobs untouched
+}
+
+TEST(Advisor, AutoTunerAgreesWithFlowchartDirection) {
+  Situation s;
+  workloads::RunConfig base;
+  base.machine = "A";
+  base.threads = 8;
+  base.num_records = 100'000;
+  base.cardinality = 10'000;
+  AutoTuneResult r = AutoTune(base, s);
+  EXPECT_EQ(r.evaluated, 12);
+  EXPECT_GT(r.best_cycles, 0u);
+  // The flowchart configuration must be within 25% of the empirical best —
+  // that is the paper's whole claim.
+  EXPECT_LE(static_cast<double>(r.flowchart_cycles),
+            1.25 * static_cast<double>(r.best_cycles));
+}
+
+}  // namespace
+}  // namespace advisor
+}  // namespace numalab

@@ -1,0 +1,89 @@
+// Tests for the dataset generators: distribution properties and join
+// integrity.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/datagen.h"
+
+namespace numalab {
+namespace datagen {
+namespace {
+
+using workloads::Dataset;
+
+TEST(Datagen, SequentialCoversAllGroupsEvenly) {
+  auto recs = MakeAggregationInput(Dataset::kSequential, 10000, 100, 1);
+  std::map<uint64_t, int> counts;
+  for (const auto& r : recs) counts[r.key]++;
+  EXPECT_EQ(counts.size(), 100u);
+  for (auto& [k, c] : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(Datagen, MovingClusterWindowSlides) {
+  const uint64_t n = 100000, card = 10000;
+  auto recs = MakeAggregationInput(Dataset::kMovingCluster, n, card, 1);
+  // Early keys come from the low end, late keys from the high end.
+  uint64_t early_max = 0, late_min = UINT64_MAX;
+  for (uint64_t i = 0; i < n / 100; ++i) {
+    early_max = std::max(early_max, recs[i].key);
+  }
+  for (uint64_t i = n - n / 100; i < n; ++i) {
+    late_min = std::min(late_min, recs[i].key);
+  }
+  EXPECT_LT(early_max, card / 4);
+  EXPECT_GT(late_min, card / 2);
+  for (const auto& r : recs) EXPECT_LT(r.key, card);
+}
+
+TEST(Datagen, ZipfIsSkewed) {
+  const uint64_t n = 200000, card = 10000;
+  auto recs = MakeAggregationInput(Dataset::kZipf, n, card, 1);
+  std::map<uint64_t, uint64_t> counts;
+  for (const auto& r : recs) counts[r.key]++;
+  // Key 0 is the most frequent and far above the mean (n/card = 20).
+  uint64_t max_count = 0;
+  for (auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_EQ(counts[0], max_count);
+  EXPECT_GT(counts[0], 10 * n / card);
+}
+
+TEST(Datagen, ZipfDeterministicPerSeed) {
+  auto a = MakeAggregationInput(Dataset::kZipf, 1000, 100, 7);
+  auto b = MakeAggregationInput(Dataset::kZipf, 1000, 100, 7);
+  auto c = MakeAggregationInput(Dataset::kZipf, 1000, 100, 8);
+  ASSERT_EQ(a.size(), b.size());
+  bool same = true, differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    same &= a[i].key == b[i].key;
+    differs |= a[i].key != c[i].key;
+  }
+  EXPECT_TRUE(same);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Datagen, JoinBuildKeysUniqueAndShuffled) {
+  std::vector<JoinTuple> build, probe;
+  MakeJoinInput(10000, 20000, 3, &build, &probe);
+  std::vector<bool> seen(10000, false);
+  bool in_order = true;
+  for (size_t i = 0; i < build.size(); ++i) {
+    ASSERT_LT(build[i].key, 10000u);
+    ASSERT_FALSE(seen[build[i].key]);
+    seen[build[i].key] = true;
+    in_order &= build[i].key == i;
+  }
+  EXPECT_FALSE(in_order);  // shuffled
+}
+
+TEST(Datagen, EveryProbeHasAMatch) {
+  std::vector<JoinTuple> build, probe;
+  MakeJoinInput(1000, 16000, 3, &build, &probe);
+  EXPECT_EQ(probe.size(), 16000u);
+  for (const auto& t : probe) EXPECT_LT(t.key, 1000u);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace numalab

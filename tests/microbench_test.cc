@@ -1,0 +1,53 @@
+// Sanity tests for the Fig. 2 allocator microbenchmark harness and its
+// headline scalability/overhead properties.
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/alloc_microbench.h"
+
+namespace numalab {
+namespace workloads {
+namespace {
+
+TEST(AllocMicrobench, DeterministicPerSeed) {
+  auto a = RunAllocMicrobench("jemalloc", "A", 4, 20'000, 42);
+  auto b = RunAllocMicrobench("jemalloc", "A", 4, 20'000, 42);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.resident_peak, b.resident_peak);
+}
+
+TEST(AllocMicrobench, SupermallocCollapsesUnderThreads) {
+  // Fig. 2a's worst scaler: the single global critical section.
+  auto s1 = RunAllocMicrobench("supermalloc", "A", 1, 30'000, 42);
+  auto s16 = RunAllocMicrobench("supermalloc", "A", 16, 30'000, 42);
+  auto t1 = RunAllocMicrobench("tbbmalloc", "A", 1, 30'000, 42);
+  auto t16 = RunAllocMicrobench("tbbmalloc", "A", 16, 30'000, 42);
+  double super_scaling = static_cast<double>(s16.cycles) /
+                         static_cast<double>(s1.cycles);
+  double tbb_scaling = static_cast<double>(t16.cycles) /
+                       static_cast<double>(t1.cycles);
+  EXPECT_GT(super_scaling, 4.0 * tbb_scaling);
+}
+
+TEST(AllocMicrobench, McmallocOverheadGrowsWithThreads) {
+  // Fig. 2b: adaptive batching makes slack proportional to thread count.
+  auto m1 = RunAllocMicrobench("mcmalloc", "A", 1, 30'000, 42);
+  auto m16 = RunAllocMicrobench("mcmalloc", "A", 16, 30'000, 42);
+  EXPECT_GT(m16.memory_overhead, 2.0 * m1.memory_overhead);
+  // While a sane allocator's overhead stays in a narrow band.
+  auto p1 = RunAllocMicrobench("ptmalloc", "A", 1, 30'000, 42);
+  auto p16 = RunAllocMicrobench("ptmalloc", "A", 16, 30'000, 42);
+  EXPECT_LT(p16.memory_overhead, 2.0 * p1.memory_overhead);
+}
+
+TEST(AllocMicrobench, OverheadIsAboveOne) {
+  for (const char* a : {"ptmalloc", "jemalloc", "tbbmalloc"}) {
+    auto r = RunAllocMicrobench(a, "A", 2, 20'000, 7);
+    EXPECT_GT(r.memory_overhead, 1.0) << a;
+    EXPECT_LT(r.memory_overhead, 3.0) << a;
+  }
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace numalab

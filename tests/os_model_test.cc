@@ -1,0 +1,130 @@
+// Tests for the OS models: placement strategies, load-balancer behaviour,
+// oversubscription accounting, AutoNUMA task migration.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/osmodel/thread_sched.h"
+#include "src/workloads/workloads.h"
+
+namespace numalab {
+namespace osmodel {
+namespace {
+
+TEST(Placement, SparseSpreadsAcrossNodes) {
+  topology::Machine m = topology::MachineA();  // 8 nodes x 2 cores
+  sim::Engine e;
+  perf::SystemCounters sys;
+  mem::MemSystem ms(&m, &e, mem::CostModel{}, &sys);
+  ThreadScheduler sched(&m, &e, &ms, Affinity::kSparse, 1, &sys);
+  std::set<int> nodes;
+  for (int i = 0; i < 8; ++i) {
+    nodes.insert(m.NodeOfHwThread(sched.Place(i)));
+  }
+  EXPECT_EQ(nodes.size(), 8u);  // 8 workers -> 8 distinct nodes
+}
+
+TEST(Placement, DensePacksNodeZeroFirst) {
+  topology::Machine m = topology::MachineA();
+  sim::Engine e;
+  perf::SystemCounters sys;
+  mem::MemSystem ms(&m, &e, mem::CostModel{}, &sys);
+  ThreadScheduler sched(&m, &e, &ms, Affinity::kDense, 1, &sys);
+  // First two workers fill node 0's two cores; third spills to node 1.
+  EXPECT_EQ(m.NodeOfHwThread(sched.Place(0)), 0);
+  EXPECT_EQ(m.NodeOfHwThread(sched.Place(1)), 0);
+  EXPECT_EQ(m.NodeOfHwThread(sched.Place(2)), 1);
+}
+
+TEST(Placement, SparseUsesCoresBeforeSmtSiblings) {
+  topology::Machine m = topology::MachineB();  // 4 nodes x 4 cores x 2 SMT
+  sim::Engine e;
+  perf::SystemCounters sys;
+  mem::MemSystem ms(&m, &e, mem::CostModel{}, &sys);
+  ThreadScheduler sched(&m, &e, &ms, Affinity::kSparse, 1, &sys);
+  std::set<int> cores;
+  for (int i = 0; i < 16; ++i) {  // 16 workers on 16 physical cores
+    int hw = sched.Place(i);
+    EXPECT_TRUE(cores.insert(m.CoreOfHwThread(hw)).second)
+        << "worker " << i << " shares a core before all cores are used";
+  }
+}
+
+TEST(Placement, DistinctHwThreadsUpToMachineSize) {
+  for (const char* name : {"A", "B", "C"}) {
+    topology::Machine m = topology::MachineByName(name);
+    sim::Engine e;
+    perf::SystemCounters sys;
+    mem::MemSystem ms(&m, &e, mem::CostModel{}, &sys);
+    for (Affinity a : {Affinity::kSparse, Affinity::kDense}) {
+      ThreadScheduler sched(&m, &e, &ms, a, 1, &sys);
+      std::set<int> hw;
+      for (int i = 0; i < m.num_hw_threads(); ++i) {
+        EXPECT_TRUE(hw.insert(sched.Place(i)).second)
+            << name << " " << AffinityName(a) << " worker " << i;
+      }
+    }
+  }
+}
+
+TEST(Scheduler, UnpinnedRunsMigrateAndFluctuate) {
+  using namespace workloads;
+  RunConfig c;
+  c.machine = "A";
+  c.threads = 16;
+  c.affinity = Affinity::kNone;
+  c.autonuma = false;
+  c.thp = false;
+  c.num_records = 100'000;
+  c.cardinality = 10'000;
+
+  RunConfig pinned = c;
+  pinned.affinity = Affinity::kSparse;
+  RunResult base = RunW1HolisticAggregation(pinned);
+  EXPECT_EQ(base.report.threads.thread_migrations, 0u);
+
+  uint64_t min_c = UINT64_MAX, max_c = 0;
+  for (int run = 0; run < 5; ++run) {
+    c.run_index = run;
+    RunResult r = RunW1HolisticAggregation(c);
+    EXPECT_GT(r.report.threads.thread_migrations, 0u);
+    EXPECT_GT(r.cycles, base.cycles);  // never faster than pinned
+    min_c = std::min(min_c, r.cycles);
+    max_c = std::max(max_c, r.cycles);
+  }
+  EXPECT_GT(max_c, min_c);  // run-to-run variance exists
+}
+
+TEST(AutoNumaModel, MigratesPagesTowardAccessors) {
+  using namespace workloads;
+  RunConfig c;
+  c.machine = "A";
+  c.threads = 16;
+  c.affinity = Affinity::kSparse;
+  c.autonuma = true;
+  c.thp = false;
+  c.num_records = 600'000;
+  c.cardinality = 60'000;
+  RunResult r = RunW1HolisticAggregation(c);
+  EXPECT_GT(r.report.threads.hinting_faults, 0u);
+  EXPECT_GT(r.report.system.page_migrations, 0u);
+}
+
+TEST(AutoNumaModel, RespectsPinnedThreads) {
+  using namespace workloads;
+  RunConfig c;
+  c.machine = "A";
+  c.threads = 8;
+  c.affinity = Affinity::kSparse;  // pinned -> no task migration
+  c.autonuma = true;
+  c.thp = false;
+  c.num_records = 200'000;
+  c.cardinality = 20'000;
+  RunResult r = RunW1HolisticAggregation(c);
+  EXPECT_EQ(r.report.threads.thread_migrations, 0u);
+}
+
+}  // namespace
+}  // namespace osmodel
+}  // namespace numalab

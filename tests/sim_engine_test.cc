@@ -1,0 +1,163 @@
+// Unit tests for the discrete-event engine: scheduling order, checkpoint
+// quantum, events, mutexes, barriers and the VirtualLock model.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/engine.h"
+#include "src/sim/sync.h"
+
+namespace numalab {
+namespace sim {
+namespace {
+
+Task ChargeNTimes(VThread* vt, Engine* engine, uint64_t per_step, int steps,
+                  std::vector<int>* order, int tag) {
+  for (int i = 0; i < steps; ++i) {
+    vt->Charge(per_step);
+    if (order != nullptr) order->push_back(tag);
+    co_await engine->Checkpoint();
+  }
+}
+
+TEST(Engine, MakespanIsMaxClock) {
+  Engine e;
+  e.Spawn("a", 0, [&](VThread* vt) {
+    return ChargeNTimes(vt, &e, 1000, 5, nullptr, 0);
+  });
+  e.Spawn("b", 1, [&](VThread* vt) {
+    return ChargeNTimes(vt, &e, 3000, 5, nullptr, 1);
+  });
+  EXPECT_EQ(e.Run(), 15000u);
+}
+
+TEST(Engine, LowestClockRunsFirst) {
+  Engine e(/*quantum=*/1);  // suspend at every checkpoint
+  std::vector<int> order;
+  e.Spawn("slow", 0, [&](VThread* vt) {
+    return ChargeNTimes(vt, &e, 100, 3, &order, 0);
+  });
+  e.Spawn("fast", 1, [&](VThread* vt) {
+    return ChargeNTimes(vt, &e, 10, 30, &order, 1);
+  });
+  e.Run();
+  // The fast thread should interleave ~10 steps per slow step; check the
+  // first slow step is not immediately followed by another slow step.
+  ASSERT_GE(order.size(), 33u);
+  int slow_positions = 0;
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    if (order[i] == 0 && order[i + 1] == 0) ++slow_positions;
+  }
+  EXPECT_LE(slow_positions, 1);  // never back-to-back except possibly at end
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e(/*quantum=*/50);  // fine quantum so threads yield around events
+  std::vector<int> fired;
+  e.ScheduleEvent(500, [&] { fired.push_back(2); });
+  e.ScheduleEvent(100, [&] { fired.push_back(1); });
+  e.Spawn("w", 0, [&](VThread* vt) {
+    return ChargeNTimes(vt, &e, 200, 5, nullptr, 0);
+  });
+  e.Run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(fired[1], 2);
+}
+
+TEST(Engine, EventsDoNotFireAfterAllThreadsDone) {
+  Engine e;
+  int fired = 0;
+  e.ScheduleEvent(1'000'000, [&] { ++fired; });
+  e.Spawn("w", 0, [&](VThread* vt) {
+    return ChargeNTimes(vt, &e, 10, 1, nullptr, 0);
+  });
+  e.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+Task LockUnlock(VThread* vt, SimMutex* m, uint64_t hold,
+                std::vector<int>* order, int tag) {
+  co_await m->Lock();
+  order->push_back(tag);
+  vt->Charge(hold);
+  m->Unlock();
+}
+
+TEST(SimMutexTest, FifoAndExclusive) {
+  Engine e(/*quantum=*/1);
+  SimMutex m(&e);
+  std::vector<int> order;
+  for (int t = 0; t < 4; ++t) {
+    e.Spawn("t", t, [&, t](VThread* vt) {
+      return LockUnlock(vt, &m, 1000, &order, t);
+    });
+  }
+  uint64_t makespan = e.Run();
+  EXPECT_EQ(order.size(), 4u);
+  // Fully serialized: 4 x 1000 cycles of critical section plus handoffs.
+  EXPECT_GE(makespan, 4000u);
+  EXPECT_FALSE(m.held());
+}
+
+Task ArriveOnce(VThread* vt, SimBarrier* b, uint64_t work) {
+  vt->Charge(work);
+  co_await b->Arrive();
+  vt->Charge(1);
+}
+
+TEST(SimBarrierTest, ReleasesAtMaxClock) {
+  Engine e;
+  SimBarrier b(&e, 3);
+  std::vector<VThread*> vts;
+  for (int t = 0; t < 3; ++t) {
+    vts.push_back(e.Spawn("t", t, [&, t](VThread* vt) {
+      return ArriveOnce(vt, &b, static_cast<uint64_t>(1000 * (t + 1)));
+    }));
+  }
+  uint64_t makespan = e.Run();
+  // Everyone leaves at >= the slowest arrival (3000) + handoff.
+  for (VThread* vt : vts) EXPECT_GE(vt->clock, 3000u);
+  EXPECT_GE(makespan, 3001u);
+}
+
+TEST(VirtualLockTest, UncontendedIsCheap) {
+  VirtualLock lock;
+  EXPECT_EQ(lock.Acquire(1000, 50), kLockAcquireCycles);
+  // Re-acquire long after release: still uncontended.
+  EXPECT_EQ(lock.Acquire(5000, 50), kLockAcquireCycles);
+  EXPECT_EQ(lock.contended_acquires, 0u);
+}
+
+TEST(VirtualLockTest, QueueingDelayAndCap) {
+  VirtualLock lock;
+  lock.Acquire(0, 100);
+  // Second acquire at t=0 waits for the first's hold.
+  uint64_t w = lock.Acquire(0, 100);
+  EXPECT_GE(w, 100u);
+  EXPECT_EQ(lock.contended_acquires, 1u);
+  // A wildly stale acquire is capped at ~50 holds, not the full gap.
+  VirtualLock lock2;
+  lock2.free_at = 10'000'000;
+  uint64_t capped = lock2.Acquire(0, 100);
+  EXPECT_LE(capped, 50 * 100 + kLockHandoffCycles);
+}
+
+TEST(Engine, DeterministicInterleaving) {
+  auto run = [] {
+    Engine e(100);
+    std::vector<int> order;
+    for (int t = 0; t < 3; ++t) {
+      e.Spawn("t", t, [&, t](VThread* vt) {
+        return ChargeNTimes(vt, &e, static_cast<uint64_t>(37 + t * 13), 50,
+                            &order, t);
+      });
+    }
+    e.Run();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace numalab

@@ -1,0 +1,99 @@
+#include "src/topology/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace numalab {
+namespace topology {
+namespace {
+
+TEST(MachineA, MatchesTableII) {
+  Machine m = MachineA();
+  EXPECT_EQ(m.num_nodes(), 8);
+  EXPECT_EQ(m.num_cores(), 16);
+  EXPECT_EQ(m.num_hw_threads(), 16);
+  EXPECT_EQ(m.Diameter(), 3);  // twisted ladder: up to 3 hops
+  EXPECT_EQ(m.llc_bytes_per_node(), 2ULL << 20);
+  EXPECT_EQ(m.node_memory_bytes(), 16ULL << 30);
+}
+
+TEST(MachineA, ThreeLinksPerNode) {
+  Machine m = MachineA();
+  std::vector<int> out_degree(8, 0);
+  for (const auto& link : m.links()) out_degree[link.from]++;
+  for (int d : out_degree) EXPECT_EQ(d, 3);
+}
+
+TEST(MachineA, LatencyFactorsByHops) {
+  Machine m = MachineA();
+  EXPECT_DOUBLE_EQ(m.LatencyFactor(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.LatencyFactor(0, 1), 1.2);  // adjacent
+  // Diameter pair must exist with factor 1.6.
+  bool saw_3hop = false;
+  for (int s = 0; s < 8; ++s) {
+    for (int d = 0; d < 8; ++d) {
+      if (m.Hops(s, d) == 3) {
+        saw_3hop = true;
+        EXPECT_DOUBLE_EQ(m.LatencyFactor(s, d), 1.6);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_3hop);
+}
+
+TEST(MachineA, RoutesFollowLinks) {
+  Machine m = MachineA();
+  for (int s = 0; s < 8; ++s) {
+    for (int d = 0; d < 8; ++d) {
+      const auto& route = m.Route(s, d);
+      EXPECT_EQ(static_cast<int>(route.size()), m.Hops(s, d));
+      int at = s;
+      for (int link_id : route) {
+        const Link& l = m.links()[static_cast<size_t>(link_id)];
+        EXPECT_EQ(l.from, at);
+        at = l.to;
+      }
+      EXPECT_EQ(at, d);
+    }
+  }
+}
+
+TEST(MachineB, MatchesTableII) {
+  Machine m = MachineB();
+  EXPECT_EQ(m.num_nodes(), 4);
+  EXPECT_EQ(m.num_cores(), 16);
+  EXPECT_EQ(m.num_hw_threads(), 32);
+  EXPECT_EQ(m.Diameter(), 1);  // fully connected
+  EXPECT_DOUBLE_EQ(m.LatencyFactor(0, 3), 1.1);
+  EXPECT_EQ(m.llc_bytes_per_node(), 18ULL << 20);
+}
+
+TEST(MachineC, MatchesTableII) {
+  Machine m = MachineC();
+  EXPECT_EQ(m.num_nodes(), 4);
+  EXPECT_EQ(m.num_cores(), 32);
+  EXPECT_EQ(m.num_hw_threads(), 64);
+  EXPECT_DOUBLE_EQ(m.LatencyFactor(1, 2), 2.1);
+  EXPECT_EQ(m.node_memory_bytes(), 768ULL << 30);
+  EXPECT_EQ(m.tlb_2m().l2_entries, 1536);
+}
+
+TEST(Machine, HwThreadMapping) {
+  Machine m = MachineB();  // 4 nodes x 4 cores x 2 SMT
+  EXPECT_EQ(m.NodeOfHwThread(0), 0);
+  EXPECT_EQ(m.NodeOfHwThread(7), 0);
+  EXPECT_EQ(m.NodeOfHwThread(8), 1);
+  EXPECT_EQ(m.NodeOfHwThread(31), 3);
+  EXPECT_EQ(m.CoreOfHwThread(0), 0);
+  EXPECT_EQ(m.CoreOfHwThread(1), 0);  // SMT sibling
+  EXPECT_EQ(m.CoreOfHwThread(2), 1);
+}
+
+TEST(Machine, ByName) {
+  EXPECT_EQ(MachineByName("A").num_nodes(), 8);
+  EXPECT_EQ(MachineByName("B").name(), "B");
+  EXPECT_EQ(MachineByName("C").name(), "C");
+}
+
+}  // namespace
+}  // namespace topology
+}  // namespace numalab

@@ -1,0 +1,224 @@
+// Golden-reference tests for TPC-H queries: each reference evaluates the
+// query naively on the host-side dataset and must match the engine's
+// digest exactly (modulo float summation order).
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/minidb/runner.h"
+#include "src/minidb/tpch_gen.h"
+
+namespace numalab {
+namespace minidb {
+namespace {
+
+constexpr double kScale = 0.01;
+
+TpchResult RunGolden(int q) {
+  TpchOptions o;
+  o.query = q;
+  o.profile = "hybrid-vec";
+  o.scale = kScale;
+  o.tuned = true;
+  return RunTpch(o);
+}
+
+void ExpectNear(double got, double want) {
+  EXPECT_NEAR(got, want, 1e-6 * std::max(1.0, std::abs(want)));
+}
+
+TEST(TpchGolden, Q4OrderPriorityCounts) {
+  const HostDb& h = GenerateTpch(kScale);
+  std::set<int64_t> late_orders;
+  for (size_t i = 0; i < h.l_orderkey.size(); ++i) {
+    if (h.l_commitdate[i] < h.l_receiptdate[i]) {
+      late_orders.insert(h.l_orderkey[i]);
+    }
+  }
+  std::map<int64_t, uint64_t> by_prio;
+  const int64_t lo = Date(1993, 7, 1), hi = Date(1993, 10, 1);
+  for (size_t i = 0; i < h.o_orderkey.size(); ++i) {
+    if (h.o_orderdate[i] >= lo && h.o_orderdate[i] < hi &&
+        late_orders.count(h.o_orderkey[i])) {
+      by_prio[h.o_orderpriority[i]]++;
+    }
+  }
+  double want = 0;
+  for (auto& [p, c] : by_prio) want += static_cast<double>((p + 1) * c);
+  TpchResult r = RunGolden(4);
+  EXPECT_EQ(r.out.rows, by_prio.size());
+  ExpectNear(r.out.digest, want);
+}
+
+TEST(TpchGolden, Q12ShipmodePriorityCounts) {
+  const HostDb& h = GenerateTpch(kScale);
+  const int64_t y94 = Date(1994, 1, 1), y95 = Date(1995, 1, 1);
+  std::map<int64_t, std::pair<uint64_t, uint64_t>> modes;
+  for (size_t i = 0; i < h.l_orderkey.size(); ++i) {
+    int64_t mode = h.l_shipmode[i];
+    if ((mode != 2 && mode != 5) ||
+        h.l_commitdate[i] >= h.l_receiptdate[i] ||
+        h.l_shipdate[i] >= h.l_commitdate[i] ||
+        h.l_receiptdate[i] < y94 || h.l_receiptdate[i] >= y95) {
+      continue;
+    }
+    int64_t prio = h.o_orderpriority[h.l_orderkey[i] - 1];
+    if (prio <= 1) {
+      modes[mode].first++;
+    } else {
+      modes[mode].second++;
+    }
+  }
+  double want = 0;
+  for (auto& [m, c] : modes) {
+    want += static_cast<double>(m * 1000 + c.first * 7 + c.second);
+  }
+  TpchResult r = RunGolden(12);
+  EXPECT_EQ(r.out.rows, modes.size());
+  ExpectNear(r.out.digest, want);
+}
+
+TEST(TpchGolden, Q13CustomerDistribution) {
+  const HostDb& h = GenerateTpch(kScale);
+  std::map<int64_t, uint64_t> per_cust;
+  for (size_t i = 0; i < h.o_orderkey.size(); ++i) {
+    if (h.o_comment_special[i] == 0) per_cust[h.o_custkey[i]]++;
+  }
+  std::map<uint64_t, uint64_t> dist;
+  for (auto& [c, n] : per_cust) dist[n]++;
+  dist[0] += h.c_custkey.size() - per_cust.size();
+  double want = 0;
+  for (auto& [k, c] : dist) want += static_cast<double>(k * c);
+  TpchResult r = RunGolden(13);
+  EXPECT_EQ(r.out.rows, dist.size());
+  ExpectNear(r.out.digest, want);
+}
+
+TEST(TpchGolden, Q14PromoShare) {
+  const HostDb& h = GenerateTpch(kScale);
+  const int64_t lo = Date(1995, 9, 1), hi = Date(1995, 10, 1);
+  double promo = 0, total = 0;
+  for (size_t i = 0; i < h.l_orderkey.size(); ++i) {
+    if (h.l_shipdate[i] < lo || h.l_shipdate[i] >= hi) continue;
+    double vol = h.l_extendedprice[i] * (1 - h.l_discount[i]);
+    total += vol;
+    if (h.p_type[h.l_partkey[i] - 1] / 25 == 5) promo += vol;
+  }
+  TpchResult r = RunGolden(14);
+  ExpectNear(r.out.digest, total > 0 ? 100.0 * promo / total : 0.0);
+}
+
+TEST(TpchGolden, Q15TopSupplier) {
+  const HostDb& h = GenerateTpch(kScale);
+  const int64_t lo = Date(1996, 1, 1), hi = Date(1996, 4, 1);
+  std::map<int64_t, double> rev;
+  for (size_t i = 0; i < h.l_orderkey.size(); ++i) {
+    if (h.l_shipdate[i] >= lo && h.l_shipdate[i] < hi) {
+      rev[h.l_suppkey[i]] +=
+          h.l_extendedprice[i] * (1 - h.l_discount[i]);
+    }
+  }
+  double best = -1;
+  int64_t best_supp = 0;
+  for (auto& [s, v] : rev) {
+    if (v > best) {
+      best = v;
+      best_supp = s;
+    }
+  }
+  TpchResult r = RunGolden(15);
+  EXPECT_EQ(r.out.rows, 1u);
+  // Digest = revenue + suppkey; float summation order differs, so compare
+  // with a relative tolerance.
+  EXPECT_NEAR(r.out.digest, best + static_cast<double>(best_supp),
+              1e-6 * (best + 1));
+}
+
+TEST(TpchGolden, Q17SmallQuantityRevenue) {
+  const HostDb& h = GenerateTpch(kScale);
+  std::map<int64_t, std::pair<double, uint64_t>> stats;  // qty sum, count
+  for (size_t i = 0; i < h.l_orderkey.size(); ++i) {
+    uint64_t p = static_cast<uint64_t>(h.l_partkey[i] - 1);
+    if (h.p_brand[p] == 12 && h.p_container[p] == 17) {
+      auto& s = stats[h.l_partkey[i]];
+      s.first += static_cast<double>(h.l_quantity[i]);
+      s.second += 1;
+    }
+  }
+  double sum = 0;
+  for (size_t i = 0; i < h.l_orderkey.size(); ++i) {
+    auto it = stats.find(h.l_partkey[i]);
+    if (it == stats.end() || it->second.second == 0) continue;
+    double avg = it->second.first / static_cast<double>(it->second.second);
+    if (static_cast<double>(h.l_quantity[i]) < 0.2 * avg) {
+      sum += h.l_extendedprice[i];
+    }
+  }
+  TpchResult r = RunGolden(17);
+  ExpectNear(r.out.digest, sum / 7.0);
+}
+
+TEST(TpchGolden, Q19DisjunctiveRevenue) {
+  const HostDb& h = GenerateTpch(kScale);
+  double sum = 0;
+  for (size_t i = 0; i < h.l_orderkey.size(); ++i) {
+    if (h.l_shipinstruct[i] != 1 ||
+        (h.l_shipmode[i] != 0 && h.l_shipmode[i] != 4)) {
+      continue;
+    }
+    uint64_t p = static_cast<uint64_t>(h.l_partkey[i] - 1);
+    int64_t qty = h.l_quantity[i];
+    int64_t brand = h.p_brand[p], cont = h.p_container[p],
+            size = h.p_size[p];
+    bool m1 = brand == 12 && cont < 8 && qty >= 1 && qty <= 11 && size <= 5;
+    bool m2 = brand == 11 && cont >= 8 && cont < 16 && qty >= 10 &&
+              qty <= 20 && size <= 10;
+    bool m3 = brand == 17 && cont >= 16 && cont < 24 && qty >= 20 &&
+              qty <= 30 && size <= 15;
+    if (m1 || m2 || m3) {
+      sum += h.l_extendedprice[i] * (1 - h.l_discount[i]);
+    }
+  }
+  TpchResult r = RunGolden(19);
+  ExpectNear(r.out.digest, sum);
+}
+
+TEST(TpchGolden, Q22GlobalSales) {
+  const HostDb& h = GenerateTpch(kScale);
+  auto in_set = [](int64_t code) {
+    return code == 13 || code == 17 || code == 18 || code == 23 ||
+           code == 29 || code == 30 || code == 31;
+  };
+  double sum = 0, cnt = 0;
+  for (size_t i = 0; i < h.c_custkey.size(); ++i) {
+    if (in_set(h.c_cntrycode[i]) && h.c_acctbal[i] > 0) {
+      sum += h.c_acctbal[i];
+      cnt += 1;
+    }
+  }
+  double avg = cnt > 0 ? sum / cnt : 0;
+  std::set<int64_t> has_orders(h.o_custkey.begin(), h.o_custkey.end());
+  std::map<int64_t, std::pair<uint64_t, double>> by_code;
+  for (size_t i = 0; i < h.c_custkey.size(); ++i) {
+    if (in_set(h.c_cntrycode[i]) && h.c_acctbal[i] > avg &&
+        has_orders.count(h.c_custkey[i]) == 0) {
+      by_code[h.c_cntrycode[i]].first++;
+      by_code[h.c_cntrycode[i]].second += h.c_acctbal[i];
+    }
+  }
+  double want = 0;
+  for (auto& [code, v] : by_code) {
+    want += static_cast<double>(code * v.first) + v.second;
+  }
+  TpchResult r = RunGolden(22);
+  EXPECT_EQ(r.out.rows, by_code.size());
+  ExpectNear(r.out.digest, want);
+}
+
+}  // namespace
+}  // namespace minidb
+}  // namespace numalab

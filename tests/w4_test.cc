@@ -1,0 +1,67 @@
+// End-to-end tests for the W4 index nested-loop join across all four index
+// structures and several configurations.
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/workloads.h"
+
+namespace numalab {
+namespace workloads {
+namespace {
+
+class W4Test : public ::testing::TestWithParam<const char*> {};
+
+RunConfig SmallJoin() {
+  RunConfig c;
+  c.machine = "A";
+  c.threads = 8;
+  c.affinity = osmodel::Affinity::kSparse;
+  c.autonuma = false;
+  c.thp = false;
+  c.build_rows = 8'000;
+  c.probe_rows = 64'000;
+  return c;
+}
+
+TEST_P(W4Test, EveryProbeMatches) {
+  RunConfig c = SmallJoin();
+  RunResult r = RunW4IndexJoin(c, GetParam());
+  EXPECT_EQ(r.checksum, c.probe_rows);
+  EXPECT_GT(r.aux_cycles, 0u);  // build time measured
+  EXPECT_GT(r.cycles, 0u);      // join time measured
+}
+
+TEST_P(W4Test, DeterministicAndAllocatorAgnosticResult) {
+  RunConfig c = SmallJoin();
+  RunResult a = RunW4IndexJoin(c, GetParam());
+  RunResult b = RunW4IndexJoin(c, GetParam());
+  EXPECT_EQ(a.cycles, b.cycles);
+  c.allocator = "hoard";
+  c.policy = mem::MemPolicy::kInterleave;
+  RunResult h = RunW4IndexJoin(c, GetParam());
+  EXPECT_EQ(h.checksum, a.checksum);  // config changes timing, not answers
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, W4Test,
+                         ::testing::Values("art", "masstree", "btree",
+                                           "skiplist"),
+                         [](const auto& info) { return info.param; });
+
+TEST(W4Ordering, ArtAndBtreeAreTheFastIndexes) {
+  // The paper's Fig. 7e: ART and B+tree are the two fastest indexes.
+  RunConfig c = SmallJoin();
+  c.build_rows = 40'000;
+  c.probe_rows = 320'000;
+  uint64_t art = RunW4IndexJoin(c, "art").cycles;
+  uint64_t btree = RunW4IndexJoin(c, "btree").cycles;
+  uint64_t masstree = RunW4IndexJoin(c, "masstree").cycles;
+  uint64_t skiplist = RunW4IndexJoin(c, "skiplist").cycles;
+  EXPECT_LT(art, masstree);
+  EXPECT_LT(art, skiplist);
+  EXPECT_LT(btree, masstree);
+  EXPECT_LT(btree, skiplist);
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace numalab

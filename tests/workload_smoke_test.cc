@@ -1,0 +1,139 @@
+// End-to-end smoke tests: the W1-W3 workloads run to completion under a few
+// representative configurations, produce correct query answers (checksums
+// match a host-side reference), and the simulation is deterministic.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/datagen.h"
+#include "src/workloads/workloads.h"
+
+namespace numalab {
+namespace workloads {
+namespace {
+
+RunConfig SmallConfig() {
+  RunConfig c;
+  c.machine = "A";
+  c.threads = 8;
+  c.affinity = osmodel::Affinity::kSparse;
+  c.policy = mem::MemPolicy::kInterleave;
+  c.allocator = "tbbmalloc";
+  c.autonuma = false;
+  c.thp = false;
+  c.num_records = 50'000;
+  c.cardinality = 512;
+  c.build_rows = 10'000;
+  c.probe_rows = 80'000;
+  return c;
+}
+
+uint64_t ReferenceW1(const RunConfig& c) {
+  auto input = datagen::MakeAggregationInput(c.dataset, c.num_records,
+                                             c.cardinality, c.seed);
+  std::map<uint64_t, std::vector<int64_t>> groups;
+  for (const auto& r : input) groups[r.key].push_back(r.val);
+  uint64_t sum = 0;
+  for (auto& [k, v] : groups) {
+    size_t mid = (v.size() - 1) / 2;
+    std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
+    sum += static_cast<uint64_t>(v[static_cast<long>(mid)]);
+  }
+  return sum;
+}
+
+TEST(W1Smoke, MatchesReferenceMedianSum) {
+  RunConfig c = SmallConfig();
+  RunResult r = RunW1HolisticAggregation(c);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_EQ(r.checksum, ReferenceW1(c));
+}
+
+TEST(W1Smoke, DeterministicAcrossRuns) {
+  RunConfig c = SmallConfig();
+  RunResult a = RunW1HolisticAggregation(c);
+  RunResult b = RunW1HolisticAggregation(c);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.report.threads.mem_accesses, b.report.threads.mem_accesses);
+  EXPECT_EQ(a.report.threads.llc_misses, b.report.threads.llc_misses);
+}
+
+TEST(W1Smoke, RunIndexPerturbsUnpinnedRuns) {
+  RunConfig c = SmallConfig();
+  c.affinity = osmodel::Affinity::kNone;
+  c.run_index = 0;
+  RunResult a = RunW1HolisticAggregation(c);
+  c.run_index = 1;
+  RunResult b = RunW1HolisticAggregation(c);
+  EXPECT_NE(a.cycles, b.cycles);  // OS scheduler noise differs by run
+}
+
+TEST(W2Smoke, CountsEveryRecordOnce) {
+  RunConfig c = SmallConfig();
+  c.dataset = Dataset::kZipf;
+  RunResult r = RunW2DistributiveAggregation(c);
+  // Sum of COUNT over all groups == number of input records.
+  EXPECT_EQ(r.checksum, c.num_records);
+}
+
+TEST(W3Smoke, EveryProbeMatches) {
+  RunConfig c = SmallConfig();
+  RunResult r = RunW3HashJoin(c);
+  // Every probe key is drawn from the build keys, so matches == probe rows.
+  EXPECT_EQ(r.checksum, c.probe_rows);
+}
+
+TEST(W3Smoke, WorksOnAllMachines) {
+  for (const char* m : {"A", "B", "C"}) {
+    RunConfig c = SmallConfig();
+    c.machine = m;
+    c.build_rows = 2'000;
+    c.probe_rows = 16'000;
+    RunResult r = RunW3HashJoin(c);
+    EXPECT_EQ(r.checksum, c.probe_rows) << m;
+  }
+}
+
+TEST(W1Smoke, AllAllocatorsProduceCorrectResults) {
+  RunConfig c = SmallConfig();
+  c.num_records = 20'000;
+  c.cardinality = 256;
+  uint64_t expect = ReferenceW1(c);
+  for (const char* a :
+       {"ptmalloc", "jemalloc", "tcmalloc", "hoard", "tbbmalloc",
+        "supermalloc", "mcmalloc"}) {
+    c.allocator = a;
+    RunResult r = RunW1HolisticAggregation(c);
+    EXPECT_EQ(r.checksum, expect) << a;
+  }
+}
+
+TEST(W1Smoke, AllPoliciesProduceCorrectResults) {
+  RunConfig c = SmallConfig();
+  c.num_records = 20'000;
+  c.cardinality = 256;
+  uint64_t expect = ReferenceW1(c);
+  for (auto p : {mem::MemPolicy::kFirstTouch, mem::MemPolicy::kInterleave,
+                 mem::MemPolicy::kLocalAlloc, mem::MemPolicy::kPreferred}) {
+    c.policy = p;
+    RunResult r = RunW1HolisticAggregation(c);
+    EXPECT_EQ(r.checksum, expect) << static_cast<int>(p);
+  }
+}
+
+TEST(W1Smoke, OsDefaultsRunToCompletion) {
+  RunConfig c = SmallConfig();
+  c.affinity = osmodel::Affinity::kNone;
+  c.autonuma = true;
+  c.thp = true;
+  c.allocator = "ptmalloc";
+  c.policy = mem::MemPolicy::kFirstTouch;
+  RunResult r = RunW1HolisticAggregation(c);
+  EXPECT_EQ(r.checksum, ReferenceW1(c));
+  EXPECT_GT(r.report.threads.thread_migrations, 0u);
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace numalab
