@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_onchip_numa.dir/bench_ext_onchip_numa.cc.o"
+  "CMakeFiles/bench_ext_onchip_numa.dir/bench_ext_onchip_numa.cc.o.d"
+  "bench_ext_onchip_numa"
+  "bench_ext_onchip_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_onchip_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

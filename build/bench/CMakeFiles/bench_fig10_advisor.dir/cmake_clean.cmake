@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_advisor.dir/bench_fig10_advisor.cc.o"
+  "CMakeFiles/bench_fig10_advisor.dir/bench_fig10_advisor.cc.o.d"
+  "bench_fig10_advisor"
+  "bench_fig10_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_allocators.dir/bench_fig6_allocators.cc.o"
+  "CMakeFiles/bench_fig6_allocators.dir/bench_fig6_allocators.cc.o.d"
+  "bench_fig6_allocators"
+  "bench_fig6_allocators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_allocators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_tpch_alloc.dir/bench_fig9_tpch_alloc.cc.o"
+  "CMakeFiles/bench_fig9_tpch_alloc.dir/bench_fig9_tpch_alloc.cc.o.d"
+  "bench_fig9_tpch_alloc"
+  "bench_fig9_tpch_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tpch_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

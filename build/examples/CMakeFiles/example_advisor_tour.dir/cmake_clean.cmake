@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_advisor_tour.dir/advisor_tour.cc.o"
+  "CMakeFiles/example_advisor_tour.dir/advisor_tour.cc.o.d"
+  "example_advisor_tour"
+  "example_advisor_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_advisor_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

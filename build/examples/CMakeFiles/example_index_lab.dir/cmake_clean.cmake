@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_index_lab.dir/index_lab.cc.o"
+  "CMakeFiles/example_index_lab.dir/index_lab.cc.o.d"
+  "example_index_lab"
+  "example_index_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_index_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tpch_explorer.dir/tpch_explorer.cc.o"
+  "CMakeFiles/example_tpch_explorer.dir/tpch_explorer.cc.o.d"
+  "example_tpch_explorer"
+  "example_tpch_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tpch_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

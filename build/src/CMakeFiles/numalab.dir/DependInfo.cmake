@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/advisor.cc" "src/CMakeFiles/numalab.dir/advisor/advisor.cc.o" "gcc" "src/CMakeFiles/numalab.dir/advisor/advisor.cc.o.d"
+  "/root/repo/src/alloc/allocator.cc" "src/CMakeFiles/numalab.dir/alloc/allocator.cc.o" "gcc" "src/CMakeFiles/numalab.dir/alloc/allocator.cc.o.d"
+  "/root/repo/src/alloc/framework.cc" "src/CMakeFiles/numalab.dir/alloc/framework.cc.o" "gcc" "src/CMakeFiles/numalab.dir/alloc/framework.cc.o.d"
+  "/root/repo/src/alloc/hoard.cc" "src/CMakeFiles/numalab.dir/alloc/hoard.cc.o" "gcc" "src/CMakeFiles/numalab.dir/alloc/hoard.cc.o.d"
+  "/root/repo/src/alloc/jemalloc.cc" "src/CMakeFiles/numalab.dir/alloc/jemalloc.cc.o" "gcc" "src/CMakeFiles/numalab.dir/alloc/jemalloc.cc.o.d"
+  "/root/repo/src/alloc/mcmalloc.cc" "src/CMakeFiles/numalab.dir/alloc/mcmalloc.cc.o" "gcc" "src/CMakeFiles/numalab.dir/alloc/mcmalloc.cc.o.d"
+  "/root/repo/src/alloc/ptmalloc.cc" "src/CMakeFiles/numalab.dir/alloc/ptmalloc.cc.o" "gcc" "src/CMakeFiles/numalab.dir/alloc/ptmalloc.cc.o.d"
+  "/root/repo/src/alloc/registry.cc" "src/CMakeFiles/numalab.dir/alloc/registry.cc.o" "gcc" "src/CMakeFiles/numalab.dir/alloc/registry.cc.o.d"
+  "/root/repo/src/alloc/supermalloc.cc" "src/CMakeFiles/numalab.dir/alloc/supermalloc.cc.o" "gcc" "src/CMakeFiles/numalab.dir/alloc/supermalloc.cc.o.d"
+  "/root/repo/src/alloc/tbbmalloc.cc" "src/CMakeFiles/numalab.dir/alloc/tbbmalloc.cc.o" "gcc" "src/CMakeFiles/numalab.dir/alloc/tbbmalloc.cc.o.d"
+  "/root/repo/src/alloc/tcmalloc.cc" "src/CMakeFiles/numalab.dir/alloc/tcmalloc.cc.o" "gcc" "src/CMakeFiles/numalab.dir/alloc/tcmalloc.cc.o.d"
+  "/root/repo/src/datagen/datagen.cc" "src/CMakeFiles/numalab.dir/datagen/datagen.cc.o" "gcc" "src/CMakeFiles/numalab.dir/datagen/datagen.cc.o.d"
+  "/root/repo/src/index/art.cc" "src/CMakeFiles/numalab.dir/index/art.cc.o" "gcc" "src/CMakeFiles/numalab.dir/index/art.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/numalab.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/numalab.dir/index/btree.cc.o.d"
+  "/root/repo/src/index/index_registry.cc" "src/CMakeFiles/numalab.dir/index/index_registry.cc.o" "gcc" "src/CMakeFiles/numalab.dir/index/index_registry.cc.o.d"
+  "/root/repo/src/index/masstree.cc" "src/CMakeFiles/numalab.dir/index/masstree.cc.o" "gcc" "src/CMakeFiles/numalab.dir/index/masstree.cc.o.d"
+  "/root/repo/src/index/skiplist.cc" "src/CMakeFiles/numalab.dir/index/skiplist.cc.o" "gcc" "src/CMakeFiles/numalab.dir/index/skiplist.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/numalab.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/numalab.dir/mem/mem_system.cc.o.d"
+  "/root/repo/src/mem/page.cc" "src/CMakeFiles/numalab.dir/mem/page.cc.o" "gcc" "src/CMakeFiles/numalab.dir/mem/page.cc.o.d"
+  "/root/repo/src/mem/sim_os.cc" "src/CMakeFiles/numalab.dir/mem/sim_os.cc.o" "gcc" "src/CMakeFiles/numalab.dir/mem/sim_os.cc.o.d"
+  "/root/repo/src/minidb/exec.cc" "src/CMakeFiles/numalab.dir/minidb/exec.cc.o" "gcc" "src/CMakeFiles/numalab.dir/minidb/exec.cc.o.d"
+  "/root/repo/src/minidb/queries.cc" "src/CMakeFiles/numalab.dir/minidb/queries.cc.o" "gcc" "src/CMakeFiles/numalab.dir/minidb/queries.cc.o.d"
+  "/root/repo/src/minidb/runner.cc" "src/CMakeFiles/numalab.dir/minidb/runner.cc.o" "gcc" "src/CMakeFiles/numalab.dir/minidb/runner.cc.o.d"
+  "/root/repo/src/minidb/tpch_gen.cc" "src/CMakeFiles/numalab.dir/minidb/tpch_gen.cc.o" "gcc" "src/CMakeFiles/numalab.dir/minidb/tpch_gen.cc.o.d"
+  "/root/repo/src/osmodel/autonuma.cc" "src/CMakeFiles/numalab.dir/osmodel/autonuma.cc.o" "gcc" "src/CMakeFiles/numalab.dir/osmodel/autonuma.cc.o.d"
+  "/root/repo/src/osmodel/thp.cc" "src/CMakeFiles/numalab.dir/osmodel/thp.cc.o" "gcc" "src/CMakeFiles/numalab.dir/osmodel/thp.cc.o.d"
+  "/root/repo/src/osmodel/thread_sched.cc" "src/CMakeFiles/numalab.dir/osmodel/thread_sched.cc.o" "gcc" "src/CMakeFiles/numalab.dir/osmodel/thread_sched.cc.o.d"
+  "/root/repo/src/perf/counters.cc" "src/CMakeFiles/numalab.dir/perf/counters.cc.o" "gcc" "src/CMakeFiles/numalab.dir/perf/counters.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/numalab.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/numalab.dir/sim/engine.cc.o.d"
+  "/root/repo/src/topology/machine.cc" "src/CMakeFiles/numalab.dir/topology/machine.cc.o" "gcc" "src/CMakeFiles/numalab.dir/topology/machine.cc.o.d"
+  "/root/repo/src/workloads/alloc_microbench.cc" "src/CMakeFiles/numalab.dir/workloads/alloc_microbench.cc.o" "gcc" "src/CMakeFiles/numalab.dir/workloads/alloc_microbench.cc.o.d"
+  "/root/repo/src/workloads/sim_context.cc" "src/CMakeFiles/numalab.dir/workloads/sim_context.cc.o" "gcc" "src/CMakeFiles/numalab.dir/workloads/sim_context.cc.o.d"
+  "/root/repo/src/workloads/w1_w2_agg.cc" "src/CMakeFiles/numalab.dir/workloads/w1_w2_agg.cc.o" "gcc" "src/CMakeFiles/numalab.dir/workloads/w1_w2_agg.cc.o.d"
+  "/root/repo/src/workloads/w3_hash_join.cc" "src/CMakeFiles/numalab.dir/workloads/w3_hash_join.cc.o" "gcc" "src/CMakeFiles/numalab.dir/workloads/w3_hash_join.cc.o.d"
+  "/root/repo/src/workloads/w4_index_join.cc" "src/CMakeFiles/numalab.dir/workloads/w4_index_join.cc.o" "gcc" "src/CMakeFiles/numalab.dir/workloads/w4_index_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

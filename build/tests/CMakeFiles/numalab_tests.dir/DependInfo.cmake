@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advisor_test.cc" "tests/CMakeFiles/numalab_tests.dir/advisor_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/advisor_test.cc.o.d"
+  "/root/repo/tests/alloc_os_test.cc" "tests/CMakeFiles/numalab_tests.dir/alloc_os_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/alloc_os_test.cc.o.d"
+  "/root/repo/tests/allocator_test.cc" "tests/CMakeFiles/numalab_tests.dir/allocator_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/allocator_test.cc.o.d"
+  "/root/repo/tests/contention_test.cc" "tests/CMakeFiles/numalab_tests.dir/contention_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/contention_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/numalab_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/hash_table_test.cc" "tests/CMakeFiles/numalab_tests.dir/hash_table_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/hash_table_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/numalab_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/mem_system_test.cc" "tests/CMakeFiles/numalab_tests.dir/mem_system_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/mem_system_test.cc.o.d"
+  "/root/repo/tests/microbench_test.cc" "tests/CMakeFiles/numalab_tests.dir/microbench_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/microbench_test.cc.o.d"
+  "/root/repo/tests/minidb_test.cc" "tests/CMakeFiles/numalab_tests.dir/minidb_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/minidb_test.cc.o.d"
+  "/root/repo/tests/os_model_test.cc" "tests/CMakeFiles/numalab_tests.dir/os_model_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/os_model_test.cc.o.d"
+  "/root/repo/tests/sim_engine_test.cc" "tests/CMakeFiles/numalab_tests.dir/sim_engine_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/sim_engine_test.cc.o.d"
+  "/root/repo/tests/tlb_cache_test.cc" "tests/CMakeFiles/numalab_tests.dir/tlb_cache_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/tlb_cache_test.cc.o.d"
+  "/root/repo/tests/topology_test.cc" "tests/CMakeFiles/numalab_tests.dir/topology_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/topology_test.cc.o.d"
+  "/root/repo/tests/tpch_golden_test.cc" "tests/CMakeFiles/numalab_tests.dir/tpch_golden_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/tpch_golden_test.cc.o.d"
+  "/root/repo/tests/w4_test.cc" "tests/CMakeFiles/numalab_tests.dir/w4_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/w4_test.cc.o.d"
+  "/root/repo/tests/workload_smoke_test.cc" "tests/CMakeFiles/numalab_tests.dir/workload_smoke_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/workload_smoke_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/numalab.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
