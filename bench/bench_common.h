@@ -3,27 +3,86 @@
 #ifndef NUMALAB_BENCH_BENCH_COMMON_H_
 #define NUMALAB_BENCH_BENCH_COMMON_H_
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/workloads/run_config.h"
 
 namespace numalab {
 namespace bench {
 
-/// Parses --records=N / --scale=F style flags; returns the default when the
-/// flag is absent.
+/// Flag names this binary has declared via FlagU64; consulted by
+/// ValidateFlags to reject misspelled flags instead of silently ignoring
+/// them.
+inline std::vector<std::string>& KnownFlags() {
+  static std::vector<std::string> flags;
+  return flags;
+}
+
+[[noreturn]] inline void FlagError(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  if (!KnownFlags().empty()) {
+    std::fprintf(stderr, "known flags:");
+    for (const auto& f : KnownFlags()) std::fprintf(stderr, " --%s=N", f.c_str());
+    std::fprintf(stderr, "\n");
+  } else {
+    std::fprintf(stderr, "this bench takes no flags\n");
+  }
+  std::exit(2);
+}
+
+/// Parses --records=N style flags; returns the default when the flag is
+/// absent. Fails fast (exit 2) on malformed values — `--records=12x` is an
+/// error, not 12. Pair with a ValidateFlags call after all FlagU64 calls so
+/// misspelled flags are rejected too.
 inline uint64_t FlagU64(int argc, char** argv, const char* name,
                         uint64_t def) {
+  KnownFlags().push_back(name);
   std::string prefix = std::string("--") + name + "=";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+      const char* val = argv[i] + prefix.size();
+      if (*val < '0' || *val > '9') {
+        FlagError(std::string(argv[i]) + ": value must be a non-negative integer");
+      }
+      errno = 0;
+      char* end = nullptr;
+      uint64_t v = std::strtoull(val, &end, 10);
+      if (errno == ERANGE) {
+        FlagError(std::string(argv[i]) + ": value out of range");
+      }
+      if (*end != '\0') {
+        FlagError(std::string(argv[i]) + ": trailing garbage after number");
+      }
+      return v;
     }
   }
   return def;
+}
+
+/// Rejects any argument that is not a declared --flag=value. Call once in
+/// main, after every FlagU64 call has registered its name.
+inline void ValidateFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* eq = std::strchr(arg, '=');
+    if (std::strncmp(arg, "--", 2) != 0 || eq == nullptr) {
+      FlagError(std::string(arg) + ": expected --flag=value");
+    }
+    std::string name(arg + 2, static_cast<size_t>(eq - arg - 2));
+    bool known = false;
+    for (const auto& f : KnownFlags()) {
+      if (f == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) FlagError(std::string(arg) + ": unrecognized flag");
+  }
 }
 
 /// The paper's "modified OS configuration": Sparse affinity, AutoNUMA and

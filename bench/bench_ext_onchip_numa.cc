@@ -36,7 +36,8 @@ topology::Machine SncMachine() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  numalab::bench::ValidateFlags(argc, argv);
   topology::Machine snc = SncMachine();
   topology::RegisterMachine(snc);
   std::printf("Extension: on-chip NUMA (sub-NUMA clustered CPU)\n\n%s\n",

@@ -8,7 +8,8 @@
 using namespace numalab;
 using namespace numalab::advisor;
 
-int main() {
+int main(int argc, char** argv) {
+  numalab::bench::ValidateFlags(argc, argv);
   std::printf("Figure 10: decision flowchart traces\n\n");
 
   struct Case {

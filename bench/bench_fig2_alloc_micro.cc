@@ -13,24 +13,14 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "bench/bench_common.h"
 #include "src/alloc/allocator.h"
 #include "src/workloads/alloc_microbench.h"
 
-namespace {
-
-uint64_t FlagOps(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--ops=", 6) == 0) {
-      return std::strtoull(argv[i] + 6, nullptr, 10);
-    }
-  }
-  return 60'000;  // scaled from the paper's 100M ops/thread
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  uint64_t ops = FlagOps(argc, argv);
+  uint64_t ops = numalab::bench::FlagU64(
+      argc, argv, "ops", 60'000);  // default scaled from the paper's 100M ops/thread
+  numalab::bench::ValidateFlags(argc, argv);
   const auto& allocators = numalab::alloc::AllAllocatorNames();
 
   std::printf("Figure 2a: allocator scalability — Machine A, %llu ops/thread"

@@ -5,9 +5,11 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/topology/machine.h"
 
-int main() {
+int main(int argc, char** argv) {
+  numalab::bench::ValidateFlags(argc, argv);
   for (const char* name : {"A", "B", "C"}) {
     numalab::topology::Machine m = numalab::topology::MachineByName(name);
     std::printf("%s", m.ToString().c_str());

@@ -236,5 +236,6 @@ bench/CMakeFiles/bench_fig8_tpch.dir/bench_fig8_tpch.cc.o: \
  /root/repo/src/../src/mem/contention.h \
  /root/repo/src/../src/topology/machine.h \
  /root/repo/src/../src/mem/mem_system.h \
- /root/repo/src/../src/mem/caches.h /root/repo/src/../src/mem/tlb.h \
- /root/repo/src/../src/minidb/exec.h /root/repo/src/../src/minidb/table.h
+ /root/repo/src/../src/mem/caches.h /root/repo/src/../src/mem/fastmod.h \
+ /root/repo/src/../src/mem/tlb.h /root/repo/src/../src/minidb/exec.h \
+ /root/repo/src/../src/minidb/table.h

@@ -1,6 +1,6 @@
 bench/CMakeFiles/bench_fig9_tpch_alloc.dir/bench_fig9_tpch_alloc.cc.o: \
  /root/repo/bench/bench_fig9_tpch_alloc.cc /usr/include/stdc-predef.h \
- /root/repo/src/../bench/bench_common.h /usr/include/c++/12/cstdio \
+ /root/repo/src/../bench/bench_common.h /usr/include/c++/12/cerrno \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -11,7 +11,12 @@ bench/CMakeFiles/bench_fig9_tpch_alloc.dir/bench_fig9_tpch_alloc.cc.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs.h \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
- /usr/include/c++/12/pstl/pstl_config.h /usr/include/stdio.h \
+ /usr/include/c++/12/pstl/pstl_config.h /usr/include/errno.h \
+ /usr/include/x86_64-linux-gnu/bits/errno.h /usr/include/linux/errno.h \
+ /usr/include/x86_64-linux-gnu/asm/errno.h \
+ /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
+ /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
+ /usr/include/c++/12/cstdio /usr/include/stdio.h \
  /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
@@ -112,21 +117,16 @@ bench/CMakeFiles/bench_fig9_tpch_alloc.dir/bench_fig9_tpch_alloc.cc.o: \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/bits/string_view.tcc \
- /usr/include/c++/12/ext/string_conversions.h /usr/include/c++/12/cerrno \
- /usr/include/errno.h /usr/include/x86_64-linux-gnu/bits/errno.h \
- /usr/include/linux/errno.h /usr/include/x86_64-linux-gnu/asm/errno.h \
- /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
- /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
+ /usr/include/c++/12/ext/string_conversions.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/../src/workloads/run_config.h \
- /root/repo/src/../src/mem/cost_model.h /root/repo/src/../src/mem/page.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/../src/osmodel/os_config.h \
+ /root/repo/src/../src/workloads/run_config.h \
+ /root/repo/src/../src/mem/cost_model.h /root/repo/src/../src/mem/page.h \
+ /usr/include/c++/12/cstddef /root/repo/src/../src/osmodel/os_config.h \
  /root/repo/src/../src/perf/counters.h \
  /root/repo/src/../src/minidb/runner.h \
  /root/repo/src/../src/minidb/queries.h /usr/include/c++/12/memory \
@@ -235,5 +235,6 @@ bench/CMakeFiles/bench_fig9_tpch_alloc.dir/bench_fig9_tpch_alloc.cc.o: \
  /root/repo/src/../src/mem/contention.h \
  /root/repo/src/../src/topology/machine.h \
  /root/repo/src/../src/mem/mem_system.h \
- /root/repo/src/../src/mem/caches.h /root/repo/src/../src/mem/tlb.h \
- /root/repo/src/../src/minidb/exec.h /root/repo/src/../src/minidb/table.h
+ /root/repo/src/../src/mem/caches.h /root/repo/src/../src/mem/fastmod.h \
+ /root/repo/src/../src/mem/tlb.h /root/repo/src/../src/minidb/exec.h \
+ /root/repo/src/../src/minidb/table.h

@@ -230,4 +230,5 @@ src/CMakeFiles/numalab.dir/index/masstree.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/../src/sim/sync.h /root/repo/src/../src/mem/mem_system.h \
- /root/repo/src/../src/mem/caches.h /root/repo/src/../src/mem/tlb.h
+ /root/repo/src/../src/mem/caches.h /root/repo/src/../src/mem/fastmod.h \
+ /root/repo/src/../src/mem/tlb.h

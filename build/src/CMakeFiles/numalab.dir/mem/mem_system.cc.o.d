@@ -200,6 +200,7 @@ src/CMakeFiles/numalab.dir/mem/mem_system.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/../src/mem/caches.h \
  /root/repo/src/../src/mem/cost_model.h \
+ /root/repo/src/../src/mem/fastmod.h \
  /root/repo/src/../src/topology/machine.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \

@@ -230,8 +230,9 @@ src/CMakeFiles/numalab.dir/minidb/runner.cc.o: \
  /root/repo/src/../src/mem/contention.h \
  /root/repo/src/../src/topology/machine.h \
  /root/repo/src/../src/mem/page.h /root/repo/src/../src/mem/mem_system.h \
- /root/repo/src/../src/mem/caches.h /root/repo/src/../src/mem/tlb.h \
- /root/repo/src/../src/minidb/exec.h /root/repo/src/../src/minidb/table.h \
+ /root/repo/src/../src/mem/caches.h /root/repo/src/../src/mem/fastmod.h \
+ /root/repo/src/../src/mem/tlb.h /root/repo/src/../src/minidb/exec.h \
+ /root/repo/src/../src/minidb/table.h \
  /root/repo/src/../src/minidb/tpch_gen.h \
  /root/repo/src/../src/workloads/sim_context.h \
  /root/repo/src/../src/osmodel/autonuma.h \

@@ -201,6 +201,7 @@ src/CMakeFiles/numalab.dir/minidb/tpch_gen.cc.o: \
  /root/repo/src/../src/mem/mem_system.h /usr/include/c++/12/array \
  /root/repo/src/../src/mem/caches.h \
  /root/repo/src/../src/mem/cost_model.h \
+ /root/repo/src/../src/mem/fastmod.h \
  /root/repo/src/../src/topology/machine.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \

@@ -224,6 +224,7 @@ src/CMakeFiles/numalab.dir/osmodel/thread_sched.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/../src/mem/caches.h \
  /root/repo/src/../src/mem/cost_model.h \
+ /root/repo/src/../src/mem/fastmod.h \
  /root/repo/src/../src/topology/machine.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \

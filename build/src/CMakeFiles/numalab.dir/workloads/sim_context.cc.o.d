@@ -227,8 +227,8 @@ src/CMakeFiles/numalab.dir/workloads/sim_context.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/../src/sim/sync.h \
  /root/repo/src/../src/mem/mem_system.h \
- /root/repo/src/../src/mem/caches.h /root/repo/src/../src/mem/tlb.h \
- /root/repo/src/../src/osmodel/autonuma.h \
+ /root/repo/src/../src/mem/caches.h /root/repo/src/../src/mem/fastmod.h \
+ /root/repo/src/../src/mem/tlb.h /root/repo/src/../src/osmodel/autonuma.h \
  /root/repo/src/../src/osmodel/thread_sched.h \
  /root/repo/src/../src/common/rng.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

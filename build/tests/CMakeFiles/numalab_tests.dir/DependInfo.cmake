@@ -20,6 +20,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/minidb_test.cc" "tests/CMakeFiles/numalab_tests.dir/minidb_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/minidb_test.cc.o.d"
   "/root/repo/tests/os_model_test.cc" "tests/CMakeFiles/numalab_tests.dir/os_model_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/os_model_test.cc.o.d"
   "/root/repo/tests/sim_engine_test.cc" "tests/CMakeFiles/numalab_tests.dir/sim_engine_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/sim_engine_test.cc.o.d"
+  "/root/repo/tests/span_parity_test.cc" "tests/CMakeFiles/numalab_tests.dir/span_parity_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/span_parity_test.cc.o.d"
   "/root/repo/tests/tlb_cache_test.cc" "tests/CMakeFiles/numalab_tests.dir/tlb_cache_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/tlb_cache_test.cc.o.d"
   "/root/repo/tests/topology_test.cc" "tests/CMakeFiles/numalab_tests.dir/topology_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/topology_test.cc.o.d"
   "/root/repo/tests/tpch_golden_test.cc" "tests/CMakeFiles/numalab_tests.dir/tpch_golden_test.cc.o" "gcc" "tests/CMakeFiles/numalab_tests.dir/tpch_golden_test.cc.o.d"

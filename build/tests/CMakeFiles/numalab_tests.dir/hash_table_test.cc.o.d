@@ -333,7 +333,8 @@ tests/CMakeFiles/numalab_tests.dir/hash_table_test.cc.o: \
  /root/repo/src/../src/mem/contention.h \
  /root/repo/src/../src/topology/machine.h \
  /root/repo/src/../src/mem/page.h /root/repo/src/../src/mem/mem_system.h \
- /root/repo/src/../src/mem/caches.h /root/repo/src/../src/mem/tlb.h \
+ /root/repo/src/../src/mem/caches.h /root/repo/src/../src/mem/fastmod.h \
+ /root/repo/src/../src/mem/tlb.h \
  /root/repo/src/../src/workloads/sim_context.h \
  /root/repo/src/../src/osmodel/autonuma.h \
  /root/repo/src/../src/osmodel/thread_sched.h \

@@ -296,6 +296,7 @@ tests/CMakeFiles/numalab_tests.dir/mem_system_test.cc.o: \
  /root/repo/src/../src/mem/mem_system.h \
  /root/repo/src/../src/mem/caches.h \
  /root/repo/src/../src/mem/cost_model.h \
+ /root/repo/src/../src/mem/fastmod.h \
  /root/repo/src/../src/topology/machine.h \
  /root/repo/src/../src/mem/contention.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

@@ -335,6 +335,7 @@ tests/CMakeFiles/numalab_tests.dir/minidb_test.cc.o: \
  /root/repo/src/../src/mem/contention.h \
  /root/repo/src/../src/topology/machine.h \
  /root/repo/src/../src/mem/page.h /root/repo/src/../src/mem/mem_system.h \
- /root/repo/src/../src/mem/caches.h /root/repo/src/../src/mem/tlb.h \
- /root/repo/src/../src/minidb/exec.h /root/repo/src/../src/minidb/table.h \
+ /root/repo/src/../src/mem/caches.h /root/repo/src/../src/mem/fastmod.h \
+ /root/repo/src/../src/mem/tlb.h /root/repo/src/../src/minidb/exec.h \
+ /root/repo/src/../src/minidb/table.h \
  /root/repo/src/../src/minidb/tpch_gen.h

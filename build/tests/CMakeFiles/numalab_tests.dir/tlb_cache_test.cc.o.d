@@ -295,4 +295,5 @@ tests/CMakeFiles/numalab_tests.dir/tlb_cache_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/../src/mem/caches.h \
  /root/repo/src/../src/mem/cost_model.h \
+ /root/repo/src/../src/mem/fastmod.h \
  /root/repo/src/../src/topology/machine.h /root/repo/src/../src/mem/tlb.h

@@ -1,6 +1,12 @@
 #!/bin/bash
 # Runs every bench binary in order, echoing a header per binary.
+#
+# Exit status: 0 only if every binary exits 0. A missing or failing binary
+# is reported immediately and again in a summary line, and the script exits
+# with the (first) failing binary's status so CI cannot mask bench failures.
 set -u
+failed=()
+status=0
 for b in bench_machines bench_fig2_alloc_micro bench_fig3_affinity_variance \
          bench_fig4_sparse_dense bench_table3_profile bench_fig5_os_config \
          bench_fig6_allocators bench_fig7_indexes bench_fig8_tpch \
@@ -9,6 +15,24 @@ for b in bench_machines bench_fig2_alloc_micro bench_fig3_affinity_variance \
   echo "===================================================================="
   echo "== $b"
   echo "===================================================================="
+  if [[ ! -x ./build/bench/$b ]]; then
+    echo "run_benches.sh: FAIL: ./build/bench/$b not found or not executable" >&2
+    failed+=("$b")
+    [[ $status -eq 0 ]] && status=127
+    echo
+    continue
+  fi
   ./build/bench/$b
+  rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "run_benches.sh: FAIL: $b exited with status $rc" >&2
+    failed+=("$b")
+    [[ $status -eq 0 ]] && status=$rc
+  fi
   echo
 done
+if [[ ${#failed[@]} -gt 0 ]]; then
+  echo "run_benches.sh: ${#failed[@]} bench(es) failed: ${failed[*]}" >&2
+  exit "$status"
+fi
+exit 0

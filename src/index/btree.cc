@@ -66,14 +66,14 @@ class BTree : public OrderedIndex {
     while (!n->leaf) {
       auto* inner = reinterpret_cast<InnerNode*>(n);
       // Binary search touches ~2 cache lines of keys plus the child slot.
-      env.Read(n->keys, sizeof(uint64_t) * static_cast<size_t>(n->count));
+      env.ReadSpan(n->keys, sizeof(uint64_t) * static_cast<size_t>(n->count));
       env.Compute(12);
       int i = UpperBound(n, key);
       env.Read(&inner->children[i], sizeof(NodeB*));
       n = inner->children[i];
     }
     auto* leaf = reinterpret_cast<LeafNode*>(n);
-    env.Read(n->keys, sizeof(uint64_t) * static_cast<size_t>(n->count));
+    env.ReadSpan(n->keys, sizeof(uint64_t) * static_cast<size_t>(n->count));
     env.Compute(12);
     int i = LowerBound(n, key);
     if (i < n->count && n->keys[i] == key) {
@@ -130,7 +130,7 @@ class BTree : public OrderedIndex {
   // and sets *up_key to the separator the parent must add.
   NodeB* InsertRec(workloads::Env& env, NodeB* n, uint64_t key,
                    uint64_t value, uint64_t* up_key) {
-    env.Read(n->keys, sizeof(uint64_t) * static_cast<size_t>(n->count));
+    env.ReadSpan(n->keys, sizeof(uint64_t) * static_cast<size_t>(n->count));
     env.Compute(12);
 
     if (n->leaf) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/mem/cost_model.h"
+#include "src/mem/fastmod.h"
 #include "src/topology/machine.h"
 
 namespace numalab {
@@ -24,6 +25,7 @@ class LineCache {
   explicit LineCache(uint64_t capacity_bytes) {
     size_t lines = static_cast<size_t>(capacity_bytes / kCacheLineBytes);
     tags_.assign(std::max<size_t>(lines, 1), kEmpty);
+    mod_ = FastMod32(static_cast<uint32_t>(tags_.size()));
   }
 
   bool Probe(uint64_t line) const {
@@ -37,10 +39,11 @@ class LineCache {
  private:
   static constexpr uint64_t kEmpty = ~0ULL;
   size_t Slot(uint64_t line) const {
-    return static_cast<size_t>((line * 0x9e3779b97f4a7c15ULL) >> 32) %
-           tags_.size();
+    // The hash fits 32 bits, so FastMod32 matches `% tags_.size()` exactly.
+    return mod_.Mod((line * 0x9e3779b97f4a7c15ULL) >> 32);
   }
   std::vector<uint64_t> tags_;
+  FastMod32 mod_;
 };
 
 /// \brief All caches of one machine: index by core for the private level and

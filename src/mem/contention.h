@@ -30,6 +30,11 @@ namespace mem {
 /// \brief A bandwidth resource with epoch-based utilization accounting.
 class ResourceQueue {
  public:
+  /// Epoch length of the utilization accounting; exposed so the batched
+  /// span path in MemSystem can coalesce bookings that provably fall into
+  /// one epoch.
+  static constexpr uint64_t kEpochCycles = 1ULL << 16;  // 65536
+
   ResourceQueue() = default;
   explicit ResourceQueue(double bytes_per_cycle)
       : bytes_per_cycle_(bytes_per_cycle) {}
@@ -46,6 +51,16 @@ class ResourceQueue {
     return std::min(static_cast<uint64_t>(delay), max_delay);
   }
 
+  /// Books demand without computing a delay. Bit-equivalent to a sequence
+  /// of Reserve calls whose `now` values all fall into the same epoch as
+  /// this call's `now` (the rolls those calls would do are no-ops), which
+  /// is the invariant the batched access path maintains.
+  void Book(uint64_t now, uint64_t bytes) {
+    Roll(now);
+    bytes_cur_ += bytes;
+    total_bytes_ += bytes;
+  }
+
   /// Utilization of the last completed epoch, clamped below 1.
   double Utilization() const {
     double capacity = bytes_per_cycle_ * static_cast<double>(kEpochCycles);
@@ -56,8 +71,6 @@ class ResourceQueue {
   uint64_t total_bytes() const { return total_bytes_; }
 
  private:
-  static constexpr uint64_t kEpochCycles = 1ULL << 16;  // 65536
-
   void Roll(uint64_t now) {
     uint64_t epoch = now / kEpochCycles;
     if (epoch == cur_epoch_) return;
@@ -94,6 +107,14 @@ class ContentionModel {
   /// Total queueing delay for moving `bytes` from node `src` to memory on
   /// node `dst` at time `now`. Charges the destination controller and, for
   /// remote accesses, every link on the precomputed route.
+  ///
+  /// Not memoizable across calls: Roll's stale-access branch means a queue's
+  /// cur_epoch_ (and with it bytes_prev_) can advance while a lagging
+  /// thread's `now` is still in an older epoch, so a delay cached under the
+  /// caller-visible epoch goes stale the moment any other thread rolls a
+  /// shared queue forward. Only the batched span path may reuse a delay, and
+  /// only within one uninterrupted span (no other thread can touch the
+  /// queues mid-span).
   uint64_t Charge(const topology::Machine& machine, int src, int dst,
                   uint64_t now, uint64_t bytes, uint64_t max_delay) {
     uint64_t delay = controllers_[dst].Reserve(now, bytes, max_delay);
@@ -103,6 +124,20 @@ class ContentionModel {
       }
     }
     return std::min(delay, max_delay);
+  }
+
+  /// Books `bytes` along the src->dst route without computing a delay.
+  /// Used by the batched access path to coalesce the bookings of a run of
+  /// same-epoch cache-line accesses into one call (see ResourceQueue::Book
+  /// for the exactness argument).
+  void Book(const topology::Machine& machine, int src, int dst, uint64_t now,
+            uint64_t bytes) {
+    controllers_[dst].Book(now, bytes);
+    if (src != dst) {
+      for (int link_id : machine.Route(src, dst)) {
+        links_[link_id].Book(now, bytes);
+      }
+    }
   }
 
   /// Injects background service demand (page migrations, THP copies) so

@@ -1,5 +1,7 @@
 #include "src/mem/mem_system.h"
 
+#include <algorithm>
+
 namespace numalab {
 namespace mem {
 
@@ -13,6 +15,20 @@ constexpr uint64_t kMigrationCooldownCycles = 600'000;
 // Kernel migration rate limit (~256 MB/s): pages per 1M-cycle epoch.
 constexpr uint64_t kMigrationsPerEpoch = 96;
 constexpr uint64_t kRateEpochCycles = 1'000'000;
+
+// VThread::Charge truncates once per call, so n calls with the same argument
+// advance the clock by exactly n * Scaled(x). The span path leans on that to
+// replace runs of identical charges with one multiplication.
+inline uint64_t Scaled(const sim::VThread* vt, uint64_t cycles) {
+  return static_cast<uint64_t>(static_cast<double>(cycles) * vt->cycle_scale);
+}
+
+// Equivalent to n VThread::Charge calls whose scaled cost is `scaled`.
+inline void ChargeScaledN(sim::VThread* vt, uint64_t scaled, uint64_t n) {
+  uint64_t c = scaled * n;
+  vt->clock += c;
+  vt->counters.cycles += c;
+}
 }  // namespace
 
 MemSystem::MemSystem(const topology::Machine* machine, sim::Engine* engine,
@@ -27,48 +43,89 @@ MemSystem::MemSystem(const topology::Machine* machine, sim::Engine* engine,
       caches_(*machine) {
   tlbs_.reserve(static_cast<size_t>(machine->num_cores()));
   for (int c = 0; c < machine->num_cores(); ++c) tlbs_.emplace_back(*machine);
+  for (int s = 0; s < machine->num_nodes(); ++s) {
+    for (int d = 0; d < machine->num_nodes(); ++d) {
+      lat_table_[static_cast<size_t>(s)][static_cast<size_t>(d)] =
+          static_cast<uint64_t>(
+              static_cast<double>(machine->dram_latency_cycles()) *
+              machine->LatencyFactor(s, d) / costs_.mlp);
+    }
+  }
 }
 
 void MemSystem::OnThreadMigrated(int new_core) {
   // Cold TLB on arrival; the private cache keeps whatever the previous
   // occupant left, which for the migrated thread is equally cold.
   tlbs_[static_cast<size_t>(new_core)].Flush();
+  ++trans_gen_;
 }
 
 void MemSystem::ShootdownTlb(uint64_t addr) {
   uint64_t rel = os_->ToSimAddr(addr);
   for (auto& tlb : tlbs_) tlb.Invalidate(rel);
+  ++trans_gen_;
+}
+
+inline void MemSystem::EnsureThreadState(int vthread_id) {
+  size_t need = static_cast<size_t>(vthread_id) + 1;
+  if (node_traffic_.size() < need) {
+    node_traffic_.resize(need, {});
+    fault_stride_.resize(need, 0);
+    fault_budget_.resize(need, wave_budget_);
+  }
 }
 
 const std::array<uint64_t, kMaxNumaNodes>& MemSystem::NodeTraffic(
     int vthread_id) {
-  if (static_cast<size_t>(vthread_id) >= node_traffic_.size()) {
-    node_traffic_.resize(static_cast<size_t>(vthread_id) + 1, {});
-    fault_stride_.resize(static_cast<size_t>(vthread_id) + 1, 0);
-  }
+  EnsureThreadState(vthread_id);
   return node_traffic_[static_cast<size_t>(vthread_id)];
 }
 
 void MemSystem::ResetNodeTraffic(int vthread_id) {
-  if (static_cast<size_t>(vthread_id) < node_traffic_.size()) {
-    node_traffic_[static_cast<size_t>(vthread_id)].fill(0);
-  }
+  EnsureThreadState(vthread_id);
+  node_traffic_[static_cast<size_t>(vthread_id)].fill(0);
 }
 
-void MemSystem::SampleAutoNuma(sim::VThread* vt, Region* region, size_t idx,
-                               int accessor_node, int page_node) {
-  size_t tid = static_cast<size_t>(vt->id);
-  if (tid >= fault_stride_.size()) {
-    node_traffic_.resize(tid + 1, {});
-    fault_stride_.resize(tid + 1, 0);
-    fault_budget_.resize(tid + 1, wave_budget_);
+MemSystem::SpanCursor& MemSystem::CursorFor(int vthread_id) {
+  if (static_cast<size_t>(vthread_id) >= cursors_.size()) {
+    cursors_.resize(static_cast<size_t>(vthread_id) + 1);
   }
+  return cursors_[static_cast<size_t>(vthread_id)];
+}
+
+Region* MemSystem::ResolveRegion(SpanCursor& cursor, uint64_t host_addr) {
+  if (cursor.trans_gen == trans_gen_ &&
+      cursor.os_gen == os_->mutation_generation() &&
+      host_addr >= cursor.region_base && host_addr < cursor.region_end) {
+    return cursor.region;
+  }
+  auto [r, idx] = os_->Lookup(host_addr);
+  (void)idx;
+  cursor.region = r;
+  cursor.region_base = r->base;
+  cursor.region_end = r->end();
+  cursor.trans_gen = trans_gen_;
+  cursor.os_gen = os_->mutation_generation();
+  return r;
+}
+
+inline void MemSystem::SampleAutoNuma(sim::VThread* vt, Region* region,
+                                      size_t idx, int accessor_node,
+                                      int page_node) {
+  size_t tid = static_cast<size_t>(vt->id);
+  EnsureThreadState(vt->id);
   node_traffic_[tid][static_cast<size_t>(page_node)]++;
   if (fault_budget_[tid] == 0) return;  // wave exhausted until next scan
   if (++fault_stride_[tid] < kHintingFaultStride) return;
   fault_stride_[tid] = 0;
   --fault_budget_[tid];
+  SampleAutoNumaFault(vt, region, idx, accessor_node, page_node);
+}
 
+void MemSystem::SampleAutoNumaFault(sim::VThread* vt, Region* region,
+                                    size_t idx, int accessor_node,
+                                    int page_node) {
+  (void)page_node;  // consumed by the inline prefix's traffic count
   // NUMA-hinting fault: trap into the kernel and account the access.
   vt->Charge(costs_.hinting_fault_cycles);
   ++vt->counters.hinting_faults;
@@ -108,8 +165,11 @@ void MemSystem::SampleAutoNuma(sim::VThread* vt, Region* region, size_t idx,
   }
 }
 
-void MemSystem::Access(sim::VThread* vt, const void* addr_p, uint64_t bytes,
-                       bool write) {
+// Reference implementation: one full TLB -> cache -> DRAM walk per logical
+// access. The span path below must match this bit-for-bit; do not "improve"
+// one without the other (tests/span_parity_test.cc holds them together).
+void MemSystem::AccessScalar(sim::VThread* vt, const void* addr_p,
+                             uint64_t bytes, bool write) {
   (void)write;  // reads and writes are charged identically (no WB model)
   if (bytes == 0) return;
   uint64_t addr = reinterpret_cast<uint64_t>(addr_p);
@@ -191,10 +251,7 @@ void MemSystem::Access(sim::VThread* vt, const void* addr_p, uint64_t bytes,
       ++vt->counters.remote_dram;
     }
 
-    double factor = machine_->LatencyFactor(my_node, page_node);
-    uint64_t lat = static_cast<uint64_t>(
-        static_cast<double>(machine_->dram_latency_cycles()) * factor /
-        costs_.mlp);
+    uint64_t lat = DramLatency(my_node, page_node);
     uint64_t delay = 0;
     if (costs_.model_contention) {
       delay = contention_.Charge(*machine_, my_node, page_node, vt->clock,
@@ -213,6 +270,286 @@ void MemSystem::Access(sim::VThread* vt, const void* addr_p, uint64_t bytes,
       caches_.Private(core).Insert(line);
     }
   }
+}
+
+// Batched engine behind Access/AccessSpan. Bit-identical to running
+// AccessScalar once per stride-sized element over [addr, addr+bytes); every
+// shortcut below is justified by an invariant that holds for the whole
+// (synchronous, event-free) span:
+//  - charges: VThread::Charge truncates per call, so runs of identical
+//    charges collapse to one multiplication (ChargeScaledN);
+//  - TLB: a probed-or-inserted translation cannot be evicted mid-span
+//    except by our own walk inserts (which replace the memo) or a shootdown
+//    (which bumps trans_gen_), so later elements on the same page are hits;
+//  - private cache: the most recently processed line is resident by
+//    construction (every path ends with it probed or inserted);
+//  - pages: SimOS::Touch is idempotent once a page is resident and bound,
+//    and every 4K member of a huge run is resident by construction, so one
+//    Touch per memoized page window stands in for one per line;
+//  - contention: a ResourceQueue's delay depends only on the previous
+//    epoch's bytes, so it is constant for a fixed (src,dst) route within an
+//    epoch, and same-epoch bookings commute (ResourceQueue::Book) — they
+//    are flushed in one call per run before anything can roll the epoch;
+//  - AutoNUMA: sampling can migrate the page under our feet, so when it is
+//    enabled every DRAM line books contention for real and the page/TLB
+//    memos are dropped whenever a sample bumps a generation counter.
+void MemSystem::SpanFast(sim::VThread* vt, uint64_t addr, uint64_t bytes,
+                         uint64_t stride, bool write) {
+  (void)write;  // reads and writes are charged identically (no WB model)
+  const uint64_t rel0 = os_->ToSimAddr(addr);
+  const uint64_t slab = addr - rel0;
+  const int core = machine_->CoreOfHwThread(vt->hw_thread);
+  const int my_node = machine_->NodeOfHwThread(vt->hw_thread);
+  Tlb& tlb = tlbs_[static_cast<size_t>(core)];
+  SpanCursor& cursor = CursorFor(vt->id);
+
+  const uint64_t s_base = Scaled(vt, costs_.base_access_cycles);
+  const uint64_t s_priv = Scaled(vt, costs_.private_hit_cycles);
+
+  // Within-span memos (all conservatively droppable; dropping one only
+  // falls back to the exact slow operation it elides).
+  uint64_t trans_snap = trans_gen_;
+  uint64_t os_snap = os_->mutation_generation();
+  // Translation known present in this core's TLB for rel in [tlb_lo, tlb_hi).
+  bool tlb_valid = false;
+  uint64_t tlb_lo = 0, tlb_hi = 0;
+  // Line most recently processed — resident in the private cache.
+  bool line_valid = false;
+  uint64_t memo_line = 0;
+  // Resolved page window (host addresses): one 4K page or one 2M huge run.
+  bool page_valid = false;
+  uint64_t page_lo = 0, page_hi = 0;
+  Region* page_region = nullptr;
+  int page_node = 0;
+  uint64_t page_busy = 0;
+  // DRAM charge memo for (dram_node, dram_epoch): queueing delay and the
+  // scaled per-line charge, plus deferred same-epoch bookings.
+  bool dram_valid = false;
+  int dram_node = -1;
+  uint64_t dram_epoch = 0;
+  uint64_t dram_delay = 0;
+  uint64_t s_line = 0;
+  uint64_t pending_bytes = 0;
+  uint64_t pending_now = 0;
+
+  auto flush_pending = [&]() {
+    if (pending_bytes != 0) {
+      contention_.Book(*machine_, my_node, dram_node, pending_now,
+                       pending_bytes);
+      pending_bytes = 0;
+    }
+  };
+
+  uint64_t off = 0;
+  while (off < bytes) {
+    const uint64_t esz = std::min(stride, bytes - off);
+    const uint64_t erel = rel0 + off;
+    const uint64_t eaddr = addr + off;
+
+    // Bulk path: whole elements inside the known-resident line, with the
+    // translation known present. Each such element costs exactly
+    // Charge(base) + tlb hit + Charge(private_hit) on the scalar path.
+    if (costs_.model_caches && line_valid && erel / kCacheLineBytes == memo_line &&
+        (!costs_.model_tlb ||
+         (tlb_valid && erel >= tlb_lo && erel < tlb_hi))) {
+      const uint64_t line_end = (memo_line + 1) * kCacheLineBytes;
+      if (erel + esz <= line_end) {
+        uint64_t n = 1;
+        if (esz == stride) {
+          uint64_t by_line = (line_end - erel) / stride;
+          uint64_t by_span = (bytes - off) / stride;
+          n = std::max<uint64_t>(1, std::min(by_line, by_span));
+        }
+        vt->counters.mem_accesses += n;
+        if (costs_.model_tlb) vt->counters.tlb_hits += n;
+        vt->counters.private_hits += n;
+        ChargeScaledN(vt, s_base + s_priv, n);
+        off += n * stride;
+        continue;
+      }
+    }
+
+    ++vt->counters.mem_accesses;
+    ChargeScaledN(vt, s_base, 1);
+
+    if (costs_.model_tlb) {
+      if (tlb_valid && erel >= tlb_lo && erel < tlb_hi) {
+        ++vt->counters.tlb_hits;  // probe elided: entry provably present
+      } else if (tlb.Lookup(erel)) {
+        ++vt->counters.tlb_hits;
+        // Whatever entry hit covers at least the 4K page around erel.
+        tlb_lo = erel & ~(kSmallPageBytes - 1);
+        tlb_hi = tlb_lo + kSmallPageBytes;
+        tlb_valid = true;
+      } else {
+        ++vt->counters.tlb_misses;
+        vt->Charge(costs_.page_walk_cycles);
+        Region* r = ResolveRegion(cursor, eaddr);
+        size_t pidx = r->PageIndex(eaddr);
+        os_->Touch(r, pidx, my_node);
+        tlb.Insert(erel, r->pages[pidx].huge);
+        tlb_lo = erel & ~(kSmallPageBytes - 1);
+        tlb_hi = tlb_lo + kSmallPageBytes;
+        tlb_valid = true;
+      }
+    }
+
+    const uint64_t first_line = erel / kCacheLineBytes;
+    const uint64_t last_line = (erel + esz - 1) / kCacheLineBytes;
+    for (uint64_t line = first_line; line <= last_line; ++line) {
+      if (costs_.model_caches) {
+        if (line_valid && line == memo_line) {
+          ++vt->counters.private_hits;
+          ChargeScaledN(vt, s_priv, 1);
+          continue;
+        }
+        LineCache& priv = caches_.Private(core);
+        if (priv.Probe(line)) {
+          ++vt->counters.private_hits;
+          ChargeScaledN(vt, s_priv, 1);
+          line_valid = true;
+          memo_line = line;
+          continue;
+        }
+        LineCache& llc = caches_.Llc(my_node);
+        if (llc.Probe(line)) {
+          ++vt->counters.llc_hits;
+          vt->Charge(costs_.llc_hit_cycles);
+          priv.Insert(line);
+          line_valid = true;
+          memo_line = line;
+          continue;
+        }
+      }
+
+      // DRAM access.
+      uint64_t line_host = line * kCacheLineBytes + slab;
+      uint64_t probe_addr = line_host >= eaddr ? line_host : eaddr;
+      Region* r;
+      size_t pidx = 0;
+      int pnode;
+      uint64_t busy;
+      if (page_valid && probe_addr >= page_lo && probe_addr < page_hi) {
+        r = page_region;
+        pnode = page_node;
+        busy = page_busy;
+        if (autonuma_) pidx = r->PageIndex(probe_addr);
+      } else {
+        r = ResolveRegion(cursor, probe_addr);
+        pidx = r->PageIndex(probe_addr);
+        pnode = os_->Touch(r, pidx, my_node);
+        bool huge = r->pages[pidx].huge;
+        size_t eff = huge ? r->HugeHead(pidx) : pidx;
+        busy = r->pages[eff].migrating_until;
+        page_region = r;
+        page_lo = r->base + eff * kSmallPageBytes;
+        page_hi = page_lo + (huge ? kHugePageBytes : kSmallPageBytes);
+        page_node = pnode;
+        page_busy = busy;
+        page_valid = true;
+      }
+
+      // Stall behind an in-flight kernel copy (migration / THP collapse).
+      if (busy > vt->clock) {
+        vt->Charge(std::min<uint64_t>(busy - vt->clock, 20000));
+      }
+
+      ++vt->counters.llc_misses;
+      if (pnode == my_node) {
+        ++vt->counters.local_dram;
+      } else {
+        ++vt->counters.remote_dram;
+      }
+
+      const uint64_t now = vt->clock;
+      const uint64_t epoch = now / ResourceQueue::kEpochCycles;
+      if (!dram_valid || pnode != dram_node || epoch != dram_epoch) {
+        flush_pending();  // books at pending_now, still inside its epoch
+        uint64_t delay = 0;
+        if (costs_.model_contention) {
+          delay = contention_.Charge(*machine_, my_node, pnode, now,
+                                     kCacheLineBytes,
+                                     costs_.max_queue_delay_cycles);
+        }
+        uint64_t lat = DramLatency(my_node, pnode);
+        dram_delay = delay;
+        s_line = Scaled(vt, lat + delay);
+        dram_node = pnode;
+        dram_epoch = epoch;
+        dram_valid = true;
+      } else if (costs_.model_contention) {
+        if (autonuma_) {
+          // Sampling may roll the epoch mid-line (fault charges, migration
+          // traffic), so never defer bookings while it is on.
+          contention_.Book(*machine_, my_node, pnode, now, kCacheLineBytes);
+        } else {
+          pending_bytes += kCacheLineBytes;
+          pending_now = now;
+        }
+      }
+      if (costs_.model_contention) {
+        vt->counters.queue_delay_cycles += dram_delay;
+      }
+      ChargeScaledN(vt, s_line, 1);
+
+      if (autonuma_) {
+        SampleAutoNuma(vt, r, pidx, my_node, pnode);
+        if (trans_gen_ != trans_snap ||
+            os_->mutation_generation() != os_snap) {
+          // The sample migrated a page / shot down TLBs: every cached
+          // translation is suspect.
+          trans_snap = trans_gen_;
+          os_snap = os_->mutation_generation();
+          tlb_valid = false;
+          page_valid = false;
+          dram_valid = false;
+        }
+      }
+
+      if (costs_.model_caches) {
+        caches_.Llc(my_node).Insert(line);
+        caches_.Private(core).Insert(line);
+        line_valid = true;
+        memo_line = line;
+      }
+    }
+
+    off += stride;
+  }
+  flush_pending();
+}
+
+void MemSystem::Access(sim::VThread* vt, const void* addr, uint64_t bytes,
+                       bool write) {
+  if (bytes == 0) return;
+  // Single-line accesses (the per-record common case) are cheaper through
+  // the scalar path — the batched engine's memo setup only pays for itself
+  // once a span covers several cache lines. Both paths charge identically
+  // (see span_parity_test), so this is purely a host-speed dispatch.
+  uint64_t a = reinterpret_cast<uint64_t>(addr);
+  uint64_t lines = (a + bytes - 1) / kCacheLineBytes - a / kCacheLineBytes;
+  if (scalar_reference_ || lines < 3) {
+    AccessScalar(vt, addr, bytes, write);
+    return;
+  }
+  SpanFast(vt, a, bytes, bytes, write);
+}
+
+void MemSystem::AccessSpan(sim::VThread* vt, const void* addr, uint64_t bytes,
+                           uint64_t stride, bool write) {
+  if (bytes == 0) return;
+  if (stride == 0 || stride > bytes) stride = bytes;
+  uint64_t base = reinterpret_cast<uint64_t>(addr);
+  uint64_t lines =
+      (base + bytes - 1) / kCacheLineBytes - base / kCacheLineBytes;
+  if (scalar_reference_ || (lines < 3 && stride == bytes)) {
+    for (uint64_t off = 0; off < bytes; off += stride) {
+      AccessScalar(vt, reinterpret_cast<const void*>(base + off),
+                   std::min(stride, bytes - off), write);
+    }
+    return;
+  }
+  SpanFast(vt, base, bytes, stride, write);
 }
 
 }  // namespace mem

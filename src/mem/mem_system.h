@@ -5,6 +5,18 @@
 // then DRAM with topology latency and controller/link queueing. First-touch
 // page binding and AutoNUMA hinting-fault sampling happen on this path, just
 // as they do in the kernel's fault handlers.
+//
+// Two implementations of that contract exist:
+//  - the scalar reference path (AccessScalar): one TLB probe, one cache
+//    probe chain and one contention charge per logical access / cache line,
+//    exactly as documented above; and
+//  - the batched span path (AccessSpan / Access): resolves the page table
+//    and TLB once per page, coalesces same-line accesses and charges runs
+//    of same-epoch DRAM lines with one latency/contention computation.
+// The span path is bit-identical to the scalar path by contract — same
+// ThreadCounters, same virtual clocks, same cache/TLB/contention state —
+// which tests/span_parity_test.cc enforces. SetScalarReference(true)
+// routes everything through the reference path for those tests.
 
 #ifndef NUMALAB_MEM_MEM_SYSTEM_H_
 #define NUMALAB_MEM_MEM_SYSTEM_H_
@@ -48,7 +60,25 @@ class MemSystem {
   }
 
   /// Charges one logical access of `bytes` at `addr` by the current thread.
+  /// Equivalent to AccessSpan(vt, addr, bytes, /*stride=*/bytes, write).
   void Access(sim::VThread* vt, const void* addr, uint64_t bytes, bool write);
+
+  /// Charges a batched run of logical accesses: one access of
+  /// min(stride, remaining) bytes every `stride` bytes over [addr,
+  /// addr+bytes). `stride == 0` (or >= bytes) charges the whole range as a
+  /// single logical access. Bit-identical, by contract, to the scalar loop
+  ///
+  ///   for (off = 0; off < bytes; off += stride)
+  ///     Access(vt, addr + off, min(stride, bytes - off), write);
+  ///
+  /// but resolves the TLB/page table once per page, coalesces same-line
+  /// accesses, and charges same-epoch DRAM line runs with one
+  /// latency/contention computation. Use it for scans whose accesses have
+  /// no other simulated work interleaved between them; keep per-access
+  /// Access/Read/Write calls when other charges (hash probes, allocator
+  /// calls, checkpoints) must interleave in order.
+  void AccessSpan(sim::VThread* vt, const void* addr, uint64_t bytes,
+                  uint64_t stride, bool write);
 
   void Read(sim::VThread* vt, const void* addr, uint64_t bytes) {
     Access(vt, addr, bytes, /*write=*/false);
@@ -58,6 +88,12 @@ class MemSystem {
   }
   /// Pure CPU work (hashing, comparisons) — no memory modelling.
   void Compute(sim::VThread* vt, uint64_t cycles) { vt->Charge(cycles); }
+
+  /// Routes Access/AccessSpan through the unbatched reference
+  /// implementation. The span parity tests run fixed workloads under both
+  /// settings and require bit-identical results; keep this off otherwise.
+  void SetScalarReference(bool on) { scalar_reference_ = on; }
+  bool scalar_reference() const { return scalar_reference_; }
 
   /// Called by the OS scheduler when a thread lands on a new core: its TLB
   /// entries and private-cache contents there are stale/cold.
@@ -72,8 +108,49 @@ class MemSystem {
   void ShootdownTlb(uint64_t addr);
 
  private:
+  /// Last-translation cache of one virtual thread, used by the span path to
+  /// skip SimOS::Lookup while the cached Region provably still covers the
+  /// address. Trusted only while both generations match (thread migration /
+  /// TLB shootdown bump trans_gen_; unmap, madvise, page migration and THP
+  /// collapse/split bump SimOS::mutation_generation()).
+  struct SpanCursor {
+    Region* region = nullptr;
+    uint64_t region_base = 1;
+    uint64_t region_end = 0;  ///< empty range: never matches
+    uint64_t trans_gen = 0;
+    uint64_t os_gen = 0;
+  };
+
+  /// Grows all per-thread AutoNUMA state vectors (node_traffic_,
+  /// fault_stride_, fault_budget_) to cover `vthread_id`. Every consumer of
+  /// that state must go through here: resizing only a subset (the bug this
+  /// helper replaced) leaves fault_budget_ short and SampleAutoNuma indexing
+  /// it out of bounds.
+  void EnsureThreadState(int vthread_id);
+
+  SpanCursor& CursorFor(int vthread_id);
+  Region* ResolveRegion(SpanCursor& cursor, uint64_t host_addr);
+
+  void AccessScalar(sim::VThread* vt, const void* addr, uint64_t bytes,
+                    bool write);
+  void SpanFast(sim::VThread* vt, uint64_t addr, uint64_t bytes,
+                uint64_t stride, bool write);
+
+  /// Hot prefix of AutoNUMA sampling: bumps traffic counts and early-exits
+  /// unless this access takes a hinting fault. Runs once per DRAM line, so
+  /// it is defined inline in mem_system.cc (its only callers live there).
   void SampleAutoNuma(sim::VThread* vt, Region* region, size_t idx,
                       int accessor_node, int page_node);
+  /// The hinting fault itself: kernel-trap charge, visit bookkeeping and
+  /// the cost-oblivious promotion rule.
+  void SampleAutoNumaFault(sim::VThread* vt, Region* region, size_t idx,
+                           int accessor_node, int page_node);
+
+  /// dram_latency * LatencyFactor(src,dst) / mlp, truncated — fixed at
+  /// construction, cached so the per-DRAM-line path skips the double math.
+  uint64_t DramLatency(int src, int dst) const {
+    return lat_table_[static_cast<size_t>(src)][static_cast<size_t>(dst)];
+  }
 
   const topology::Machine* machine_;
   sim::Engine* engine_;
@@ -84,12 +161,18 @@ class MemSystem {
   CacheModel caches_;
   std::vector<Tlb> tlbs_;  // one per physical core
   bool autonuma_ = false;
+  bool scalar_reference_ = false;
   std::vector<std::array<uint64_t, kMaxNumaNodes>> node_traffic_;
   std::vector<uint32_t> fault_stride_;  // per-thread sampling countdown
   uint64_t migrate_epoch_ = 0;
   uint64_t migrations_this_epoch_ = 0;
   std::vector<uint64_t> fault_budget_;  // per-thread, rearmed per scan wave
   uint64_t wave_budget_ = 1ULL << 40;
+  /// Bumped on thread migration and TLB shootdown; span-path memos compare
+  /// against it before trusting a cached translation.
+  uint64_t trans_gen_ = 0;
+  std::vector<SpanCursor> cursors_;  // per virtual thread
+  std::array<std::array<uint64_t, kMaxNumaNodes>, kMaxNumaNodes> lat_table_{};
 };
 
 }  // namespace mem

@@ -74,6 +74,7 @@ Region* SimOS::Map(uint64_t bytes, bool thp_eligible) {
 }
 
 void SimOS::Unmap(Region* region) {
+  ++mutation_gen_;
   for (size_t i = 0; i < region->pages.size(); ++i) DropResident(region, i);
   for (auto& p : region->pages) {
     if (p.node >= 0) {
@@ -95,6 +96,7 @@ void SimOS::Unmap(Region* region) {
 
 void SimOS::MadviseDontNeed(Region* region, uint64_t offset, uint64_t len,
                             uint64_t now) {
+  ++mutation_gen_;
   uint64_t first = (offset + kSmallPageBytes - 1) / kSmallPageBytes;
   uint64_t last = (offset + len) / kSmallPageBytes;  // exclusive
   for (uint64_t i = first; i < last && i < region->pages.size(); ++i) {
@@ -157,7 +159,7 @@ void SimOS::DropResident(Region* region, size_t idx) {
   }
 }
 
-int SimOS::Touch(Region* region, size_t idx, int accessor_node) {
+int SimOS::TouchSlow(Region* region, size_t idx, int accessor_node) {
   PageRec& p = region->pages[idx];
 
   // THP fault path: first touch of a fully untouched 2M-aligned run faults
@@ -207,6 +209,7 @@ void SimOS::MigratePage(Region* region, size_t idx, int to_node,
   size_t eff = region->pages[idx].huge ? region->HugeHead(idx) : idx;
   PageRec& head = region->pages[eff];
   if (head.node == to_node) return;
+  ++mutation_gen_;
   uint64_t bytes = head.huge ? kHugePageBytes : kSmallPageBytes;
   if (head.node >= 0) {
     node_bound_bytes_[static_cast<size_t>(head.node)] -= kSmallPageBytes;
@@ -235,6 +238,7 @@ bool SimOS::TryCollapseHuge(Region* region, size_t head_idx, uint64_t now) {
     const PageRec& p = region->pages[head_idx + static_cast<size_t>(i)];
     if (!p.resident || p.huge || p.node != node) return false;
   }
+  ++mutation_gen_;
   for (int i = 0; i < kSmallPagesPerHuge; ++i) {
     region->pages[head_idx + static_cast<size_t>(i)].huge = 1;
   }
@@ -247,6 +251,7 @@ bool SimOS::TryCollapseHuge(Region* region, size_t head_idx, uint64_t now) {
 void SimOS::SplitHuge(Region* region, size_t head_idx, uint64_t now) {
   PageRec& head = region->pages[head_idx];
   NUMALAB_CHECK(head.huge);
+  ++mutation_gen_;
   for (int i = 0; i < kSmallPagesPerHuge; ++i) {
     PageRec& p = region->pages[head_idx + static_cast<size_t>(i)];
     p.huge = 0;

@@ -69,8 +69,22 @@ class SimOS {
   std::pair<Region*, size_t> Lookup(uint64_t addr) const;
 
   /// Ensures the page is bound and resident; returns the node serving it
-  /// (the huge-run head's node for collapsed pages).
-  int Touch(Region* region, size_t idx, int accessor_node);
+  /// (the huge-run head's node for collapsed pages). Runs once per DRAM
+  /// line, so the no-fault common case — already resident with a bound
+  /// home node — stays inline; first touches, THP faults and rebinding
+  /// take the out-of-line slow path.
+  int Touch(Region* region, size_t idx, int accessor_node) {
+    const PageRec& p = region->pages[idx];
+    if (p.resident) {
+      if (!p.huge) {
+        if (p.node >= 0) return p.node;
+      } else {
+        const PageRec& head = region->pages[region->HugeHead(idx)];
+        if (head.node >= 0) return head.node;
+      }
+    }
+    return TouchSlow(region, idx, accessor_node);
+  }
 
   /// Moves the 4K page (or whole huge run) to `to_node`: kernel copy traffic
   /// is injected into the contention model and subsequent accesses stall
@@ -95,12 +109,19 @@ class SimOS {
   uint64_t resident_peak() const { return resident_peak_; }
   uint64_t bound_bytes(int node) const { return node_bound_bytes_[node]; }
 
+  /// Monotonic counter bumped whenever the page table mutates in a way that
+  /// can invalidate a cached translation (unmap, madvise, page migration,
+  /// THP collapse/split). MemSystem's per-thread last-translation caches
+  /// compare against it before trusting a cached Region pointer.
+  uint64_t mutation_generation() const { return mutation_gen_; }
+
  private:
   static constexpr uint64_t kSlabBytes = 48ULL << 30;  // virtual reservation
   static constexpr uint64_t kSlotBytes = kHugePageBytes;
 
   int ChooseBindNode(int accessor_node);
   void AddResident(Region* region, size_t idx);
+  int TouchSlow(Region* region, size_t idx, int accessor_node);
   void DropResident(Region* region, size_t idx);
 
   const topology::Machine* machine_;
@@ -122,6 +143,7 @@ class SimOS {
 
   uint64_t resident_bytes_ = 0;
   uint64_t resident_peak_ = 0;
+  uint64_t mutation_gen_ = 0;
   std::vector<uint64_t> node_bound_bytes_;
 };
 

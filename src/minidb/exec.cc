@@ -62,7 +62,7 @@ void ChargeScan(QCtx& q, std::initializer_list<const void*> cols,
   uint64_t rows = hi - lo;
   for (const void* col : cols) {
     const char* base = static_cast<const char*>(col);
-    q.env->Read(base + lo * 8, rows * 8);
+    q.env->ReadSpan(base + lo * 8, rows * 8);
   }
   q.env->Compute(rows * q.prof->per_tuple_cycles);
 }
@@ -71,7 +71,7 @@ void ChargeScratch(QCtx& q, uint64_t rows) {
   uint64_t bytes = rows * q.prof->scratch_per_row;
   if (bytes == 0) return;
   void* p = q.env->Alloc(bytes);
-  q.env->Write(p, std::min<uint64_t>(bytes, 4096));
+  q.env->WriteSpan(p, std::min<uint64_t>(bytes, 4096));
   q.env->Free(p);
 }
 

@@ -26,6 +26,15 @@ struct Env {
 
   void Read(const void* p, size_t n) { mem->Read(self, p, n); }
   void Write(const void* p, size_t n) { mem->Write(self, p, n); }
+  /// Batched strided reads/writes over [p, p+n); stride 0 charges the whole
+  /// range as one logical access. Bit-identical to the equivalent loop of
+  /// Read/Write calls — see MemSystem::AccessSpan for when to use which.
+  void ReadSpan(const void* p, size_t n, uint64_t stride = 0) {
+    mem->AccessSpan(self, p, n, stride, /*write=*/false);
+  }
+  void WriteSpan(const void* p, size_t n, uint64_t stride = 0) {
+    mem->AccessSpan(self, p, n, stride, /*write=*/true);
+  }
   void Compute(uint64_t cycles) { self->Charge(cycles); }
   sim::CheckpointAwaiter Checkpoint() { return engine->Checkpoint(); }
 

@@ -51,6 +51,11 @@ struct RunConfig {
   int run_index = 0;  ///< perturbs OS-scheduler randomness across runs
   uint64_t quantum = 4000;  ///< engine checkpoint quantum (clock-skew bound)
 
+  /// Route all charging through the unbatched scalar reference path instead
+  /// of the batched span engine. Slower; exists so parity tests can compare
+  /// both implementations bit-for-bit (see MemSystem::SetScalarReference).
+  bool scalar_mem_path = false;
+
   mem::CostModel costs;  ///< ablation switches live here
 };
 

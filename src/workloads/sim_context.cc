@@ -23,6 +23,7 @@ SimContext::SimContext(const RunConfig& config)
              &sys_),
       barrier_(&engine_, config.threads) {
   memsys_->os()->SetPolicy(config.policy, config.preferred_node);
+  memsys_->SetScalarReference(config.scalar_mem_path);
 
   alloc::AllocEnv aenv{&engine_, memsys_->os(), &memsys_->costs()};
   allocator_ = alloc::MakeAllocator(config.allocator, aenv, &machine_);

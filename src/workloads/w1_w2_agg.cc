@@ -31,8 +31,8 @@ void Append(Env& env, GroupVec* v, int64_t x) {
     uint32_t new_cap = v->cap == 0 ? 8 : v->cap * 2;
     auto* nd = static_cast<int64_t*>(env.Alloc(new_cap * sizeof(int64_t)));
     if (v->size > 0) {
-      env.Read(v->data, v->size * sizeof(int64_t));
-      env.Write(nd, v->size * sizeof(int64_t));
+      env.ReadSpan(v->data, v->size * sizeof(int64_t));
+      env.WriteSpan(nd, v->size * sizeof(int64_t));
       std::memcpy(nd, v->data, v->size * sizeof(int64_t));
       env.Free(v->data);
     }
@@ -82,7 +82,7 @@ sim::Task W1Worker(Env& env, AggShared& shared, W1Table& table) {
   table.ForEachInBuckets(env, blo, bhi, [&](W1Table::Entry* e) {
     GroupVec& v = e->value;
     if (v.size == 0) return;
-    env.Read(v.data, v.size * sizeof(int64_t));
+    env.ReadSpan(v.data, v.size * sizeof(int64_t));
     // nth_element is O(n) with a non-trivial constant.
     env.Compute(static_cast<uint64_t>(v.size) * 6);
     size_t mid = (v.size - 1) / 2;

@@ -31,8 +31,8 @@ void Emit(Env& env, OutBuf* out, uint64_t a, uint64_t b, uint64_t c) {
     uint64_t new_cap = out->cap == 0 ? 1024 : out->cap * 2;
     auto* nd = static_cast<uint64_t*>(env.Alloc(new_cap * sizeof(uint64_t)));
     if (out->size > 0) {
-      env.Read(out->data, out->size * sizeof(uint64_t));
-      env.Write(nd, out->size * sizeof(uint64_t));
+      env.ReadSpan(out->data, out->size * sizeof(uint64_t));
+      env.WriteSpan(nd, out->size * sizeof(uint64_t));
       std::memcpy(nd, out->data, out->size * sizeof(uint64_t));
       env.Free(out->data);
     }

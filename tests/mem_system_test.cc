@@ -161,6 +161,29 @@ TEST_F(MemSystemTest, ResidentAccounting) {
   EXPECT_EQ(memsys_.os()->resident_bytes(), before);
 }
 
+TEST_F(MemSystemTest, NodeTrafficBeforeFirstSampledFault) {
+  // Regression: the AutoNUMA balancer reads NodeTraffic for a live thread
+  // before that thread takes its first sampled fault. NodeTraffic used to
+  // grow node_traffic_/fault_stride_ but not fault_budget_, so the resize
+  // guard in SampleAutoNuma was skipped and fault_budget_[tid] indexed out
+  // of bounds (caught under ASan).
+  memsys_.SetAutoNumaSampling(true);
+  const auto& traffic = memsys_.NodeTraffic(0);  // balancer runs first
+  EXPECT_EQ(traffic[0], 0u);
+  Region* r = memsys_.os()->Map(1 << 20);
+  RunAs(0, [&](sim::VThread* vt) {
+    // Enough DRAM lines to pass the hinting-fault stride several times.
+    for (uint64_t off = 0; off < r->len; off += 64) {
+      memsys_.Read(vt, r->host + off, 8);
+    }
+  });
+  EXPECT_GT(engine_.threads()[0]->counters.hinting_faults, 0u);
+  EXPECT_GT(memsys_.NodeTraffic(0)[0], 0u);
+  // A reset for a thread id the balancer has never seen must also be safe.
+  memsys_.ResetNodeTraffic(42);
+  EXPECT_EQ(memsys_.NodeTraffic(42)[0], 0u);
+}
+
 TEST_F(MemSystemTest, UnmapRecyclesAddressSpace) {
   Region* a = memsys_.os()->Map(1 << 20);
   uint64_t base = a->base;
