@@ -85,6 +85,17 @@ inline void ValidateFlags(int argc, char** argv) {
   }
 }
 
+/// Declares and applies the --race-detect=0|1 flag every bench accepts:
+/// nonzero flips the process-wide numalab::sanity switch (see
+/// workloads::GlobalRaceDetect), so every simulated run in this process is
+/// race-checked and the binary exits nonzero on the first racy run.
+/// Detection is pure bookkeeping — simulated results are unchanged — so
+/// RACE_DETECT=1 ./run_benches.sh is a drop-in CI gate.
+inline void ParseRaceDetectFlag(int argc, char** argv) {
+  workloads::SetGlobalRaceDetect(
+      FlagU64(argc, argv, "race-detect", 0) != 0);
+}
+
 /// The paper's "modified OS configuration": Sparse affinity, AutoNUMA and
 /// THP off. Policy/allocator are the experiment variables on top.
 inline workloads::RunConfig TunedBase(const std::string& machine,

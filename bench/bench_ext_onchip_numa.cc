@@ -37,6 +37,7 @@ topology::Machine SncMachine() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  numalab::bench::ParseRaceDetectFlag(argc, argv);
   numalab::bench::ValidateFlags(argc, argv);
   topology::Machine snc = SncMachine();
   topology::RegisterMachine(snc);

@@ -9,6 +9,7 @@ using namespace numalab;
 using namespace numalab::advisor;
 
 int main(int argc, char** argv) {
+  numalab::bench::ParseRaceDetectFlag(argc, argv);
   numalab::bench::ValidateFlags(argc, argv);
   std::printf("Figure 10: decision flowchart traces\n\n");
 

@@ -4,7 +4,18 @@
 # Exit status: 0 only if every binary exits 0. A missing or failing binary
 # is reported immediately and again in a summary line, and the script exits
 # with the (first) failing binary's status so CI cannot mask bench failures.
+#
+# Environment knobs:
+#   BUILD_DIR=<dir>   bench binaries are taken from <dir>/bench (default: build)
+#   RACE_DETECT=1     pass --race-detect=1 to every bench: the simulated-thread
+#                     race detector runs and any report makes that bench exit 1
 set -u
+build_dir=${BUILD_DIR:-build}
+extra_args=()
+if [[ ${RACE_DETECT:-0} != 0 ]]; then
+  extra_args+=(--race-detect=1)
+  echo "run_benches.sh: race detection enabled (--race-detect=1)"
+fi
 failed=()
 status=0
 for b in bench_machines bench_fig2_alloc_micro bench_fig3_affinity_variance \
@@ -15,14 +26,14 @@ for b in bench_machines bench_fig2_alloc_micro bench_fig3_affinity_variance \
   echo "===================================================================="
   echo "== $b"
   echo "===================================================================="
-  if [[ ! -x ./build/bench/$b ]]; then
-    echo "run_benches.sh: FAIL: ./build/bench/$b not found or not executable" >&2
+  if [[ ! -x ./$build_dir/bench/$b ]]; then
+    echo "run_benches.sh: FAIL: ./$build_dir/bench/$b not found or not executable" >&2
     failed+=("$b")
     [[ $status -eq 0 ]] && status=127
     echo
     continue
   fi
-  ./build/bench/$b
+  ./"$build_dir"/bench/"$b" ${extra_args[@]+"${extra_args[@]}"}
   rc=$?
   if [[ $rc -ne 0 ]]; then
     echo "run_benches.sh: FAIL: $b exited with status $rc" >&2

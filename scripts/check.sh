@@ -1,0 +1,50 @@
+#!/bin/bash
+# Pre-PR gate: run every analysis configuration this repo supports.
+#
+#   1. plain build + full ctest
+#   2. address,undefined-sanitized build + full ctest
+#   3. clang-tidy build (skipped with a notice if clang-tidy is not on PATH)
+#   4. race-detector clean pass over the whole bench suite (RACE_DETECT=1)
+#
+# Exits non-zero on the first failing stage. Build trees are kept under
+# build-check-* so they never collide with a developer's ./build.
+set -u
+cd "$(dirname "$0")/.." || exit 1
+
+run() {
+  echo "check.sh: $*"
+  "$@"
+  local rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "check.sh: FAIL (exit $rc): $*" >&2
+    exit "$rc"
+  fi
+}
+
+echo "==== stage 1/4: plain build + ctest ===="
+run cmake -B build-check -S . -G Ninja
+run cmake --build build-check
+run ctest --test-dir build-check --output-on-failure
+
+echo "==== stage 2/4: address,undefined sanitizers + ctest ===="
+run cmake -B build-check-asan -S . -G Ninja \
+    -DNUMALAB_SANITIZE=address,undefined
+run cmake --build build-check-asan
+run ctest --test-dir build-check-asan --output-on-failure
+
+echo "==== stage 3/4: clang-tidy build ===="
+if command -v clang-tidy >/dev/null 2>&1; then
+  run cmake -B build-check-tidy -S . -G Ninja -DNUMALAB_CLANG_TIDY=ON
+  run cmake --build build-check-tidy
+else
+  echo "check.sh: NOTICE: clang-tidy not found on PATH; skipping stage 3." \
+       "Install clang-tidy (or run in the analysis container) for the" \
+       "full gate."
+fi
+
+echo "==== stage 4/4: race-detector clean bench run ===="
+# Reuses the plain stage-1 build; every bench runs with --race-detect=1 and
+# any report makes the binary (and therefore run_benches.sh) exit non-zero.
+run env BUILD_DIR=build-check RACE_DETECT=1 ./run_benches.sh
+
+echo "check.sh: all stages passed"

@@ -51,29 +51,51 @@ class ConcurrentHashTable {
 
   uint64_t nbuckets() const { return nbuckets_; }
 
-  /// Finds the entry for `key`, creating it (with value = V{}) if absent.
-  /// Thread-safe via striped locks; charges all traffic to env's thread.
-  Entry* Upsert(workloads::Env& env, uint64_t key) {
+  /// Finds the entry for `key`, creating it (with value = V{}) if absent,
+  /// then runs `mutate(entry)` before the stripe lock is conceptually
+  /// released. Callers that modify the entry's value MUST do it inside
+  /// `mutate`: the value update is only ordered against other threads'
+  /// upserts of the same key while the stripe is held, and the race
+  /// detector checks exactly that contract. Thread-safe via striped locks;
+  /// charges all traffic to env's thread.
+  template <typename F>
+  Entry* UpsertWith(workloads::Env& env, uint64_t key, F&& mutate) {
     env.Compute(kHashCycles);
     uint64_t b = HashKey(key) & mask_;
     sim::VirtualLock& stripe = stripes_[b & kStripeMask];
     uint64_t wait = stripe.Acquire(env.self->clock, kLockHoldCycles);
     env.self->Charge(wait);
     env.self->counters.lock_wait_cycles += wait;
+    env.LockAcquired(&stripe);
 
     env.Read(&buckets_[b], sizeof(Entry*));
     Entry* e = buckets_[b];
     while (e != nullptr) {
       env.Read(e, sizeof(uint64_t) + sizeof(Entry*));
-      if (e->key == key) return e;
+      if (e->key == key) break;
       e = e->next;
     }
-    e = static_cast<Entry*>(env.Alloc(sizeof(Entry)));
-    new (e) Entry{key, buckets_[b], V{}};
-    buckets_[b] = e;
-    env.Write(e, sizeof(Entry));
-    env.Write(&buckets_[b], sizeof(Entry*));
+    if (e == nullptr) {
+      e = static_cast<Entry*>(env.Alloc(sizeof(Entry)));
+      new (e) Entry{key, buckets_[b], V{}};
+      buckets_[b] = e;
+      env.Write(e, sizeof(Entry));
+      env.Write(&buckets_[b], sizeof(Entry*));
+    }
+    mutate(e);
+    env.LockReleased(&stripe);
     return e;
+  }
+
+  /// UpsertWith without a value mutation (chain insert only).
+  Entry* Upsert(workloads::Env& env, uint64_t key) {
+    return UpsertWith(env, key, [](Entry*) {});
+  }
+
+  /// UpsertWith storing `v` — the shared build-table idiom (last writer of
+  /// a duplicate key wins, under the stripe lock).
+  Entry* UpsertSet(workloads::Env& env, uint64_t key, V v) {
+    return UpsertWith(env, key, [&](Entry* e) { e->value = v; });
   }
 
   /// Lock-free lookup for probe-only phases. Returns nullptr when absent.

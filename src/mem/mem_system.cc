@@ -1,6 +1,10 @@
 #include "src/mem/mem_system.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/sanity/race_detector.h"
 
 namespace numalab {
 namespace mem {
@@ -51,6 +55,42 @@ MemSystem::MemSystem(const topology::Machine* machine, sim::Engine* engine,
               machine->LatencyFactor(s, d) / costs_.mlp);
     }
   }
+}
+
+void MemSystem::SetRaceDetector(sanity::RaceDetector* rd) {
+  static_assert(sanity::kShadowLineBytes == kCacheLineBytes,
+                "shadow lines must match the modelled cache line");
+  race_ = rd;
+  if (rd != nullptr) {
+    rd->SetAddrResolver(
+        [this](uint64_t sim_addr) { return DescribeSimAddr(sim_addr); });
+  }
+}
+
+std::string MemSystem::DescribeSimAddr(uint64_t sim_addr) const {
+  // Reports can name unmapped or non-slab addresses; resolve by hand
+  // instead of SimOS::Lookup, which CHECK-fails on wild addresses.
+  uint64_t host = os_->FromSimAddr(sim_addr);
+  const auto& regions = os_->regions();
+  auto it = regions.upper_bound(host);
+  if (it != regions.begin()) --it;
+  if (it == regions.end() || host < it->second->base ||
+      host >= it->second->end()) {
+    return "outside any mapped simulated region";
+  }
+  const Region* r = it->second;
+  size_t idx = r->PageIndex(host);
+  const PageRec& p = r->pages[idx];
+  size_t eff = p.huge ? r->HugeHead(idx) : idx;
+  const PageRec& head = r->pages[eff];
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "node %d, %spage %zu of region sim:0x%" PRIx64 " (+%" PRIu64
+                " bytes)%s",
+                static_cast<int>(head.node), p.huge ? "huge-" : "", idx,
+                os_->ToSimAddr(r->base), r->len,
+                head.resident ? "" : ", not yet resident");
+  return buf;
 }
 
 void MemSystem::OnThreadMigrated(int new_core) {
@@ -522,6 +562,10 @@ void MemSystem::SpanFast(sim::VThread* vt, uint64_t addr, uint64_t bytes,
 void MemSystem::Access(sim::VThread* vt, const void* addr, uint64_t bytes,
                        bool write) {
   if (bytes == 0) return;
+  if (race_ != nullptr) {
+    race_->OnAccess(vt->id, os_->ToSimAddr(reinterpret_cast<uint64_t>(addr)),
+                    bytes, write, vt->clock);
+  }
   // Single-line accesses (the per-record common case) are cheaper through
   // the scalar path — the batched engine's memo setup only pays for itself
   // once a span covers several cache lines. Both paths charge identically
@@ -539,6 +583,12 @@ void MemSystem::AccessSpan(sim::VThread* vt, const void* addr, uint64_t bytes,
                            uint64_t stride, bool write) {
   if (bytes == 0) return;
   if (stride == 0 || stride > bytes) stride = bytes;
+  if (race_ != nullptr) {
+    // A span's elements tile [addr, addr + bytes) exactly, so one range
+    // check covers every element of the batched loop.
+    race_->OnAccess(vt->id, os_->ToSimAddr(reinterpret_cast<uint64_t>(addr)),
+                    bytes, write, vt->clock);
+  }
   uint64_t base = reinterpret_cast<uint64_t>(addr);
   uint64_t lines =
       (base + bytes - 1) / kCacheLineBytes - base / kCacheLineBytes;

@@ -24,6 +24,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/mem/caches.h"
@@ -36,6 +37,9 @@
 #include "src/topology/machine.h"
 
 namespace numalab {
+namespace sanity {
+class RaceDetector;
+}  // namespace sanity
 namespace mem {
 
 class MemSystem {
@@ -107,6 +111,19 @@ class MemSystem {
   /// Invalidate the TLB entry for a migrated page on every core.
   void ShootdownTlb(uint64_t addr);
 
+  /// Attaches the happens-before race detector (src/sanity): Access and
+  /// AccessSpan forward every simulated touch to it, and reports gain
+  /// node/page detail through a resolver installed here. The detector is
+  /// pure bookkeeping — it charges no cycles and never mutates simulator
+  /// state, so results are identical with it on or off; when `rd` is null
+  /// (the default) the hook is a single predictable branch.
+  void SetRaceDetector(sanity::RaceDetector* rd);
+  sanity::RaceDetector* race() const { return race_; }
+
+  /// Human-readable placement of a simulated (slab-relative) address:
+  /// node, page index and region extent. Safe on wild addresses.
+  std::string DescribeSimAddr(uint64_t sim_addr) const;
+
  private:
   /// Last-translation cache of one virtual thread, used by the span path to
   /// skip SimOS::Lookup while the cached Region provably still covers the
@@ -162,6 +179,7 @@ class MemSystem {
   std::vector<Tlb> tlbs_;  // one per physical core
   bool autonuma_ = false;
   bool scalar_reference_ = false;
+  sanity::RaceDetector* race_ = nullptr;
   std::vector<std::array<uint64_t, kMaxNumaNodes>> node_traffic_;
   std::vector<uint32_t> fault_stride_;  // per-thread sampling countdown
   uint64_t migrate_epoch_ = 0;

@@ -104,6 +104,8 @@ class SimOS {
   /// Deterministic (slab-relative) form of a host address; feed this to
   /// anything that hashes addresses.
   uint64_t ToSimAddr(uint64_t host_addr) const { return host_addr - slab_; }
+  /// Inverse of ToSimAddr.
+  uint64_t FromSimAddr(uint64_t sim_addr) const { return sim_addr + slab_; }
 
   uint64_t resident_bytes() const { return resident_bytes_; }
   uint64_t resident_peak() const { return resident_peak_; }

@@ -161,7 +161,7 @@ QueryPlan BuildTpchPlan(int q_num, QueryState* stp) {
         ChargeScan(q, {size, type, key}, lo, hi);
         for (uint64_t i = lo; i < hi; ++i) {
           if (size[i] == 15 && type[i] % 5 == 2) {  // '%BRASS'
-            st.ht1->Upsert(*q.env, static_cast<uint64_t>(key[i]))->value = 1;
+            st.ht1->UpsertSet(*q.env, static_cast<uint64_t>(key[i]), 1);
           }
         }
       }));
@@ -225,7 +225,7 @@ QueryPlan BuildTpchPlan(int q_num, QueryState* stp) {
         ChargeScan(q, {seg, key}, lo, hi);
         for (uint64_t i = lo; i < hi; ++i) {
           if (seg[i] == kSegBuilding) {
-            st.ht1->Upsert(*q.env, static_cast<uint64_t>(key[i]))->value = 1;
+            st.ht1->UpsertSet(*q.env, static_cast<uint64_t>(key[i]), 1);
           }
         }
       }));
@@ -239,8 +239,7 @@ QueryPlan BuildTpchPlan(int q_num, QueryState* stp) {
         for (uint64_t i = lo; i < hi; ++i) {
           if (date[i] < cutoff &&
               st.ht1->Find(*q.env, static_cast<uint64_t>(cust[i]))) {
-            st.ht2->Upsert(*q.env, static_cast<uint64_t>(okey[i]))->value =
-                date[i];
+            st.ht2->UpsertSet(*q.env, static_cast<uint64_t>(okey[i]), date[i]);
           }
         }
       }));
@@ -289,8 +288,7 @@ QueryPlan BuildTpchPlan(int q_num, QueryState* stp) {
         ChargeScan(q, {okey, commit, receipt}, lo, hi);
         for (uint64_t i = lo; i < hi; ++i) {
           if (commit[i] < receipt[i]) {
-            st.ht1->Upsert(*q.env, static_cast<uint64_t>(okey[i]))->value =
-                1;
+            st.ht1->UpsertSet(*q.env, static_cast<uint64_t>(okey[i]), 1);
           }
         }
       }));
@@ -332,8 +330,7 @@ QueryPlan BuildTpchPlan(int q_num, QueryState* stp) {
         ChargeScan(q, {key, nat}, lo, hi);
         for (uint64_t i = lo; i < hi; ++i) {
           if (RegionOfNation(nat[i]) == kRegionAsia) {
-            st.ht1->Upsert(*q.env, static_cast<uint64_t>(key[i]))->value =
-                nat[i];
+            st.ht1->UpsertSet(*q.env, static_cast<uint64_t>(key[i]), nat[i]);
           }
         }
       }));
@@ -348,8 +345,8 @@ QueryPlan BuildTpchPlan(int q_num, QueryState* stp) {
           if (date[i] < y94 || date[i] >= y95) continue;
           auto* e = st.ht1->Find(*q.env, static_cast<uint64_t>(cust[i]));
           if (e != nullptr) {
-            st.ht2->Upsert(*q.env, static_cast<uint64_t>(okey[i]))->value =
-                e->value;  // customer nation
+            st.ht2->UpsertSet(*q.env, static_cast<uint64_t>(okey[i]),
+                              e->value);  // customer nation
           }
         }
       }));
@@ -427,8 +424,7 @@ QueryPlan BuildTpchPlan(int q_num, QueryState* stp) {
           q.env->Read(&cnat[cust[i] - 1], 8);
           int64_t n = cnat[cust[i] - 1];
           if (n == kNationFrance || n == kNationGermany) {
-            st.ht3->Upsert(*q.env, static_cast<uint64_t>(okey[i]))->value =
-                n;
+            st.ht3->UpsertSet(*q.env, static_cast<uint64_t>(okey[i]), n);
           }
         }
       }));
@@ -482,7 +478,7 @@ QueryPlan BuildTpchPlan(int q_num, QueryState* stp) {
         ChargeScan(q, {type, key}, lo, hi);
         for (uint64_t i = lo; i < hi; ++i) {
           if (type[i] == kTypeEconomyAnodizedSteel) {
-            st.ht1->Upsert(*q.env, static_cast<uint64_t>(key[i]))->value = 1;
+            st.ht1->UpsertSet(*q.env, static_cast<uint64_t>(key[i]), 1);
           }
         }
       }));
@@ -498,8 +494,8 @@ QueryPlan BuildTpchPlan(int q_num, QueryState* stp) {
           if (date[i] < y95 || date[i] >= y97) continue;
           q.env->Read(&cnat[cust[i] - 1], 8);
           if (RegionOfNation(cnat[cust[i] - 1]) == kRegionAmerica) {
-            st.ht3->Upsert(*q.env, static_cast<uint64_t>(okey[i]))->value =
-                YearOfDay(date[i]);
+            st.ht3->UpsertSet(*q.env, static_cast<uint64_t>(okey[i]),
+                              YearOfDay(date[i]));
           }
         }
       }));
@@ -550,7 +546,7 @@ QueryPlan BuildTpchPlan(int q_num, QueryState* stp) {
         ChargeScan(q, {color, key}, lo, hi);
         for (uint64_t i = lo; i < hi; ++i) {
           if (color[i] == kColorGreen) {
-            st.ht1->Upsert(*q.env, static_cast<uint64_t>(key[i]))->value = 1;
+            st.ht1->UpsertSet(*q.env, static_cast<uint64_t>(key[i]), 1);
           }
         }
       }));
@@ -619,8 +615,7 @@ QueryPlan BuildTpchPlan(int q_num, QueryState* stp) {
         ChargeScan(q, {okey, cust, date}, lo, hi);
         for (uint64_t i = lo; i < hi; ++i) {
           if (date[i] >= lo_d && date[i] < hi_d) {
-            st.ht1->Upsert(*q.env, static_cast<uint64_t>(okey[i]))->value =
-                cust[i];
+            st.ht1->UpsertSet(*q.env, static_cast<uint64_t>(okey[i]), cust[i]);
           }
         }
       }));
@@ -861,7 +856,7 @@ QueryPlan BuildTpchPlan(int q_num, QueryState* stp) {
         ChargeScan(q, {key, bad}, lo, hi);
         for (uint64_t i = lo; i < hi; ++i) {
           if (bad[i] != 0) {
-            st.ht1->Upsert(*q.env, static_cast<uint64_t>(key[i]))->value = 1;
+            st.ht1->UpsertSet(*q.env, static_cast<uint64_t>(key[i]), 1);
           }
         }
       }));
@@ -1043,7 +1038,7 @@ QueryPlan BuildTpchPlan(int q_num, QueryState* stp) {
         ChargeScan(q, {color, key}, lo, hi);
         for (uint64_t i = lo; i < hi; ++i) {
           if (color[i] == kColorForest) {
-            st.ht1->Upsert(*q.env, static_cast<uint64_t>(key[i]))->value = 1;
+            st.ht1->UpsertSet(*q.env, static_cast<uint64_t>(key[i]), 1);
           }
         }
       }));
@@ -1191,7 +1186,7 @@ QueryPlan BuildTpchPlan(int q_num, QueryState* stp) {
         const auto* cust = O.I64("o_custkey");
         ChargeScan(q, {cust}, lo, hi);
         for (uint64_t i = lo; i < hi; ++i) {
-          st.ht1->Upsert(*q.env, static_cast<uint64_t>(cust[i]))->value = 1;
+          st.ht1->UpsertSet(*q.env, static_cast<uint64_t>(cust[i]), 1);
         }
       }));
       ph.push_back(Serial([&st](QCtx&) {

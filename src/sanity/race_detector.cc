@@ -1,0 +1,381 @@
+#include "src/sanity/race_detector.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace numalab {
+namespace sanity {
+
+namespace {
+
+/// Word-mask of an access to [lo, hi) clipped to the line holding `lo`
+/// (both slab-relative byte addresses; hi > lo).
+uint8_t WordMask(uint64_t line, uint64_t lo, uint64_t hi) {
+  uint64_t base = line * kShadowLineBytes;
+  uint64_t first = (std::max(lo, base) - base) / kShadowWordBytes;
+  uint64_t last =
+      (std::min(hi, base + kShadowLineBytes) - 1 - base) / kShadowWordBytes;
+  uint8_t mask = 0;
+  for (uint64_t w = first; w <= last; ++w) mask |= static_cast<uint8_t>(1u << w);
+  return mask;
+}
+
+void GrowTo(std::vector<uint32_t>* vc, size_t n) {
+  if (vc->size() < n) vc->resize(n, 0);
+}
+
+}  // namespace
+
+RaceDetector::RaceDetector() {
+  // Slot 0 is the root/setup context; it exists from the start.
+  clocks_.emplace_back();
+  clocks_[0].push_back(1);
+  names_.emplace_back("setup");
+}
+
+RaceDetector::~RaceDetector() = default;
+
+RaceDetector::VC& RaceDetector::ClockOf(size_t sid) {
+  if (clocks_.size() <= sid) {
+    clocks_.resize(sid + 1);
+    names_.resize(sid + 1);
+  }
+  VC& c = clocks_[sid];
+  GrowTo(&c, sid + 1);
+  if (c[sid] == 0) c[sid] = 1;
+  return c;
+}
+
+RaceDetector::Epoch RaceDetector::CurrentEpoch(size_t sid) {
+  VC& c = ClockOf(sid);
+  return MakeEpoch(sid, c[sid]);
+}
+
+bool RaceDetector::EpochLeq(Epoch e, const VC& c) const {
+  size_t sid = EpochSid(e);
+  uint32_t have = sid < c.size() ? c[sid] : 0;
+  return EpochClk(e) <= have;
+}
+
+void RaceDetector::Join(VC* into, const VC& from) {
+  GrowTo(into, from.size());
+  for (size_t i = 0; i < from.size(); ++i) {
+    (*into)[i] = std::max((*into)[i], from[i]);
+  }
+}
+
+void RaceDetector::OnThreadStart(int tid, const std::string& name,
+                                 int parent_tid) {
+  size_t sid = Sid(tid);
+  size_t psid = Sid(parent_tid);
+  ClockOf(sid);  // may reallocate clocks_
+  VC parent = ClockOf(psid);
+  Join(&clocks_[sid], parent);
+  clocks_[sid][sid] = std::max<uint32_t>(clocks_[sid][sid], 1);
+  names_[sid] = name;
+  // The parent's later work is concurrent with the child.
+  clocks_[psid][psid]++;
+}
+
+void RaceDetector::OnThreadFinish(int tid) {
+  VC child = ClockOf(Sid(tid));
+  Join(&ClockOf(0), child);
+}
+
+void RaceDetector::OnAcquire(int tid, const void* sync) {
+  auto it = sync_vc_.find(sync);
+  if (it == sync_vc_.end()) return;  // never released: no edge yet
+  Join(&ClockOf(Sid(tid)), it->second);
+}
+
+void RaceDetector::OnRelease(int tid, const void* sync) {
+  size_t sid = Sid(tid);
+  VC& c = ClockOf(sid);
+  sync_vc_[sync] = c;
+  c[sid]++;
+}
+
+void RaceDetector::OnBarrier(const void* barrier,
+                             const std::vector<int>& tids) {
+  VC joined = sync_vc_[barrier];
+  for (int tid : tids) {
+    VC c = ClockOf(Sid(tid));
+    Join(&joined, c);
+  }
+  sync_vc_[barrier] = joined;
+  for (int tid : tids) {
+    size_t sid = Sid(tid);
+    ClockOf(sid);
+    clocks_[sid] = joined;
+    GrowTo(&clocks_[sid], sid + 1);
+    clocks_[sid][sid]++;
+  }
+}
+
+void RaceDetector::OnAlloc(int tid, uint64_t sim_addr, uint64_t bytes,
+                           uint64_t vclock) {
+  if (bytes == 0) return;
+  ClearRange(sim_addr, bytes);
+  // Drop allocation records overlapping the new block (address reuse).
+  auto it = allocs_.upper_bound(sim_addr);
+  if (it != allocs_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.bytes > sim_addr) it = prev;
+  }
+  while (it != allocs_.end() && it->first < sim_addr + bytes) {
+    it = allocs_.erase(it);
+  }
+  allocs_[sim_addr] = AllocInfo{bytes, tid, vclock};
+}
+
+void RaceDetector::ClearRange(uint64_t sim_addr, uint64_t bytes) {
+  uint64_t end = sim_addr + bytes;
+  uint64_t first = sim_addr / kShadowLineBytes;
+  uint64_t last = (end - 1) / kShadowLineBytes;
+  for (uint64_t line = first; line <= last; ++line) {
+    uint64_t base = line * kShadowLineBytes;
+    if (sim_addr <= base && base + kShadowLineBytes <= end) {
+      shadow_.erase(line);
+      continue;
+    }
+    auto it = shadow_.find(line);
+    if (it == shadow_.end()) continue;
+    // Partial overlap: refine so only the covered words forget history.
+    if (!it->second.words) Promote(&it->second);
+    uint8_t mask = WordMask(line, sim_addr, end);
+    for (int w = 0; w < kWordsPerLine; ++w) {
+      if (mask & (1u << w)) (*it->second.words)[w] = AccessState{};
+    }
+  }
+}
+
+void RaceDetector::Promote(LineShadow* ls) {
+  ls->words = std::make_unique<std::array<AccessState, kWordsPerLine>>();
+  for (int w = 0; w < kWordsPerLine; ++w) {
+    AccessState& st = (*ls->words)[w];
+    if (ls->w_mask & (1u << w)) {
+      st.w_epoch = ls->line.w_epoch;
+      st.w_vclock = ls->line.w_vclock;
+    }
+    if (ls->r_mask & (1u << w)) {
+      st.r_epoch = ls->line.r_epoch;
+      st.r_vclock = ls->line.r_vclock;
+      if (ls->line.r_vc) st.r_vc = std::make_unique<VC>(*ls->line.r_vc);
+    }
+  }
+  ls->line = AccessState{};
+  ls->w_mask = 0;
+  ls->r_mask = 0;
+}
+
+bool RaceDetector::CheckGranule(AccessState* st, uint8_t* w_mask,
+                                uint8_t* r_mask, uint64_t line, int word,
+                                size_t sid, uint8_t mask, bool write,
+                                uint64_t vclock) {
+  const bool refined = word >= 0;  // word granularity: overlap is certain
+  Epoch e = CurrentEpoch(sid);
+  VC& c = clocks_[sid];
+  bool reported = false;
+  bool need_refine = false;
+
+  auto conflict = [&](uint8_t prior_mask, Epoch prior, bool prior_write,
+                      uint64_t prior_vclock) {
+    if (refined || (prior_mask & mask) != 0) {
+      ReportRace(line, word, sid, write, vclock, prior, prior_write,
+                 prior_vclock);
+      reported = true;
+    } else {
+      need_refine = true;
+    }
+  };
+
+  if (write) {
+    if (st->w_epoch == e) {  // same-epoch fast path
+      if (!refined) *w_mask |= mask;
+      st->w_vclock = vclock;
+      return true;
+    }
+    if (st->r_vc) {
+      const VC& rvc = *st->r_vc;
+      for (size_t s = 0; s < rvc.size(); ++s) {
+        uint32_t have = s < c.size() ? c[s] : 0;
+        if (rvc[s] > have) {
+          conflict(r_mask ? *r_mask : 0xFF, MakeEpoch(s, rvc[s]),
+                   /*prior_write=*/false, st->r_vclock);
+          break;
+        }
+      }
+    } else if (st->r_epoch != 0 && !EpochLeq(st->r_epoch, c)) {
+      conflict(r_mask ? *r_mask : 0xFF, st->r_epoch, /*prior_write=*/false,
+               st->r_vclock);
+    }
+    if (st->w_epoch != 0 && !EpochLeq(st->w_epoch, c)) {
+      conflict(w_mask ? *w_mask : 0xFF, st->w_epoch, /*prior_write=*/true,
+               st->w_vclock);
+    }
+    if (need_refine && !reported) return false;
+    st->w_epoch = e;
+    st->w_vclock = vclock;
+    st->r_epoch = 0;
+    st->r_vc.reset();
+    if (!refined) {
+      *w_mask = mask;
+      *r_mask = 0;
+    }
+    return true;
+  }
+
+  // Read.
+  if (st->r_vc) {
+    GrowTo(st->r_vc.get(), sid + 1);
+    if ((*st->r_vc)[sid] == c[sid]) {  // same-epoch fast path
+      if (!refined) *r_mask |= mask;
+      st->r_vclock = vclock;
+      return true;
+    }
+  } else if (st->r_epoch == e) {  // same-epoch fast path
+    if (!refined) *r_mask |= mask;
+    st->r_vclock = vclock;
+    return true;
+  }
+  if (st->w_epoch != 0 && !EpochLeq(st->w_epoch, c)) {
+    conflict(w_mask ? *w_mask : 0xFF, st->w_epoch, /*prior_write=*/true,
+             st->w_vclock);
+    if (need_refine && !reported) return false;
+  }
+  if (st->r_vc) {
+    (*st->r_vc)[sid] = c[sid];
+    if (!refined) *r_mask |= mask;
+  } else if (st->r_epoch == 0 || EpochLeq(st->r_epoch, c)) {
+    st->r_epoch = e;  // read-exclusive: the previous reader happens-before us
+    if (!refined) *r_mask = mask;
+  } else {
+    // Second concurrent reader: promote to a read vector clock (FastTrack's
+    // "read-shared" state). Concurrent reads never race with each other.
+    auto vc = std::make_unique<VC>();
+    size_t prev_sid = EpochSid(st->r_epoch);
+    GrowTo(vc.get(), std::max(prev_sid, sid) + 1);
+    (*vc)[prev_sid] = EpochClk(st->r_epoch);
+    (*vc)[sid] = c[sid];
+    st->r_vc = std::move(vc);
+    st->r_epoch = 0;
+    if (!refined) *r_mask |= mask;
+  }
+  st->r_vclock = vclock;
+  return true;
+}
+
+void RaceDetector::OnAccess(int tid, uint64_t sim_addr, uint64_t bytes,
+                            bool write, uint64_t vclock) {
+  if (bytes == 0) return;
+  size_t sid = Sid(tid);
+  ClockOf(sid);  // ensure the clock exists before taking references
+  uint64_t end = sim_addr + bytes;
+  uint64_t first = sim_addr / kShadowLineBytes;
+  uint64_t last = (end - 1) / kShadowLineBytes;
+  for (uint64_t line = first; line <= last; ++line) {
+    uint8_t mask = WordMask(line, sim_addr, end);
+    LineShadow& ls = shadow_[line];
+    if (!ls.words) {
+      // Line mode is only precise while every recorded access on a side
+      // shares one exact word mask: the merged line state (especially a
+      // read vector clock) cannot remember which reader touched which
+      // words, so letting masks diverge would manufacture false races
+      // between neighbours — e.g. two hash buckets on one line, each
+      // guarded by its own stripe lock. Diverging masks promote to
+      // per-word shadow *before* any check; Promote's distribution is
+      // exact precisely because the invariant held until now.
+      uint8_t side_mask = write ? ls.w_mask : ls.r_mask;
+      if (side_mask == 0 || side_mask == mask) {
+        if (CheckGranule(&ls.line, &ls.w_mask, &ls.r_mask, line, -1, sid,
+                         mask, write, vclock)) {
+          continue;
+        }
+        // Conflicting epochs but disjoint words: false sharing, not a race.
+      }
+      Promote(&ls);
+    }
+    for (int w = 0; w < kWordsPerLine; ++w) {
+      if (mask & (1u << w)) {
+        CheckGranule(&(*ls.words)[w], nullptr, nullptr, line, w, sid, 0xFF,
+                     write, vclock);
+      }
+    }
+  }
+}
+
+std::string RaceDetector::DescribeThread(size_t sid) const {
+  char buf[96];
+  if (sid == 0) {
+    std::snprintf(buf, sizeof(buf), "setup context (tid -1)");
+  } else {
+    const char* name =
+        sid < names_.size() && !names_[sid].empty() ? names_[sid].c_str()
+                                                    : "?";
+    std::snprintf(buf, sizeof(buf), "vthread %d \"%s\"",
+                  static_cast<int>(sid) - 1, name);
+  }
+  return buf;
+}
+
+std::string RaceDetector::DescribeAlloc(uint64_t sim_addr) const {
+  auto it = allocs_.upper_bound(sim_addr);
+  if (it == allocs_.begin()) return "(no tracked allocation)";
+  --it;
+  if (sim_addr >= it->first + it->second.bytes) {
+    return "(no tracked allocation)";
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "block sim:0x%" PRIx64 " (+%" PRIu64 " bytes) allocated by %s"
+                " @ virtual cycle %" PRIu64,
+                it->first, it->second.bytes,
+                DescribeThread(Sid(it->second.tid)).c_str(),
+                it->second.vclock);
+  return buf;
+}
+
+void RaceDetector::ReportRace(uint64_t line, int word, size_t sid, bool write,
+                              uint64_t vclock, Epoch prior,
+                              bool prior_is_write, uint64_t prior_vclock) {
+  ++races_observed_;
+  if (!reported_lines_.insert(line).second) return;  // one report per line
+  if (reports_.size() >= kMaxReports) return;
+
+  Report r;
+  r.line = line;
+  r.word = word;
+  r.tid = static_cast<int>(sid) - 1;
+  r.prior_tid = static_cast<int>(EpochSid(prior)) - 1;
+  r.vclock = vclock;
+  r.prior_vclock = prior_vclock;
+  r.is_write = write;
+  r.prior_is_write = prior_is_write;
+
+  uint64_t addr = line * kShadowLineBytes +
+                  (word >= 0 ? static_cast<uint64_t>(word) * kShadowWordBytes
+                             : 0);
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "numalab::sanity: DATA RACE on simulated line 0x%" PRIx64
+                "%s (sim addr 0x%" PRIx64 ")",
+                line, word >= 0 ? " (word-refined)" : "", addr);
+  char cur[192];
+  std::snprintf(cur, sizeof(cur), "\n  current:  %s by %s @ virtual cycle %" PRIu64,
+                write ? "write" : "read", DescribeThread(sid).c_str(),
+                vclock);
+  char prev[192];
+  std::snprintf(prev, sizeof(prev),
+                "\n  previous: %s by %s @ virtual cycle %" PRIu64
+                " — no happens-before edge",
+                prior_is_write ? "write" : "read",
+                DescribeThread(EpochSid(prior)).c_str(), prior_vclock);
+  r.text = std::string(head) + cur + prev;
+  if (resolver_) r.text += "\n  location: " + resolver_(addr);
+  r.text += "\n  allocation: " + DescribeAlloc(addr);
+  reports_.push_back(std::move(r));
+}
+
+}  // namespace sanity
+}  // namespace numalab

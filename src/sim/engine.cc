@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sanity/race_detector.h"
+
 namespace numalab {
 namespace sim {
 
@@ -33,6 +35,14 @@ VThread* Engine::Spawn(const std::string& name, int hw_thread,
   vt->engine = this;
   VThread* raw = vt.get();
   threads_.push_back(std::move(vt));
+
+  if (race_ != nullptr) {
+    // Fork edge: everything the spawner (a thread, or the setup context
+    // when spawned from host code) did so far happens-before the new
+    // thread's first step.
+    race_->OnThreadStart(raw->id, name, current_ != nullptr ? current_->id
+                                                            : -1);
+  }
 
   Task task = factory(raw);
   NUMALAB_CHECK(task.handle);
@@ -107,6 +117,8 @@ uint64_t Engine::Run() {
       vt->handle = nullptr;
       --live_;
       makespan = std::max(makespan, vt->clock);
+      // Join edge: everything after Run() happens-after every thread.
+      if (race_ != nullptr) race_->OnThreadFinish(vt->id);
     } else if (vt->state == VThreadState::kRunning) {
       MakeReady(vt);  // suspended at a checkpoint
     }

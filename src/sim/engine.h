@@ -43,6 +43,9 @@
 #include "src/perf/counters.h"
 
 namespace numalab {
+namespace sanity {
+class RaceDetector;
+}  // namespace sanity
 namespace sim {
 
 class Engine;
@@ -165,6 +168,13 @@ class Engine {
   /// memory/OS models which hold their own SystemCounters).
   perf::ThreadCounters AggregateCounters() const;
 
+  /// Optional happens-before race detector (src/sanity). When set, Spawn
+  /// emits fork edges, thread completion emits join edges, and the sync
+  /// primitives in sync.h emit acquire/release edges. Null (the default)
+  /// costs one predictable branch per hook site and nothing else.
+  void SetRaceDetector(sanity::RaceDetector* rd) { race_ = rd; }
+  sanity::RaceDetector* race() const { return race_; }
+
  private:
   friend struct CheckpointAwaiter;
 
@@ -195,6 +205,7 @@ class Engine {
   uint64_t event_seq_ = 0;
   VThread* current_ = nullptr;
   int live_ = 0;
+  sanity::RaceDetector* race_ = nullptr;
 };
 
 }  // namespace sim

@@ -19,7 +19,9 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
+#include "src/sanity/race_detector.h"
 #include "src/sim/engine.h"
 
 namespace numalab {
@@ -59,7 +61,14 @@ class SimMutex {
       m->waiters_.push_back(vt);
       m->engine_->BlockCurrent();
     }
-    void await_resume() const noexcept {}
+    void await_resume() const noexcept {
+      // Acquire edge: the releasing owner's clock (published in Unlock)
+      // happens-before everything after this lock acquisition. Runs on both
+      // the uncontended fast path and after a hand-off wake.
+      if (sanity::RaceDetector* rd = m->engine_->race()) {
+        rd->OnAcquire(m->engine_->current()->id, m);
+      }
+    }
   };
 
   /// co_await m.Lock();
@@ -69,6 +78,9 @@ class SimMutex {
   /// thread (if any) is woken after a cache-line handoff delay.
   void Unlock() {
     VThread* vt = engine_->current();
+    if (sanity::RaceDetector* rd = engine_->race()) {
+      rd->OnRelease(vt->id, this);  // before any waiter can acquire
+    }
     vfree_at_ = vt->clock;
     if (!waiters_.empty()) {
       VThread* next = waiters_.front();
@@ -103,6 +115,15 @@ class SimBarrier {
     bool await_ready() const noexcept {
       VThread* vt = b->engine_->current();
       if (static_cast<int>(b->waiting_.size()) == b->n_ - 1) {
+        // Barrier edge: everything any participant did before arriving
+        // happens-before everything every participant does after release.
+        if (sanity::RaceDetector* rd = b->engine_->race()) {
+          std::vector<int> tids;
+          tids.reserve(b->waiting_.size() + 1);
+          for (VThread* w : b->waiting_) tids.push_back(w->id);
+          tids.push_back(vt->id);
+          rd->OnBarrier(b, tids);
+        }
         // Last arrival: release everyone at the max clock seen.
         uint64_t release = vt->clock;
         for (VThread* w : b->waiting_) release = std::max(release, w->clock);

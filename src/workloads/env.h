@@ -11,6 +11,7 @@
 
 #include "src/alloc/allocator.h"
 #include "src/mem/mem_system.h"
+#include "src/sanity/race_detector.h"
 #include "src/sim/engine.h"
 
 namespace numalab {
@@ -38,8 +39,34 @@ struct Env {
   void Compute(uint64_t cycles) { self->Charge(cycles); }
   sim::CheckpointAwaiter Checkpoint() { return engine->Checkpoint(); }
 
-  void* Alloc(size_t n) { return alloc->Alloc(n); }
+  void* Alloc(size_t n) {
+    void* p = alloc->Alloc(n);
+    if (sanity::RaceDetector* rd = mem->race()) {
+      // Allocator reuse is not a happens-before edge: a freshly returned
+      // block carries no shadow history (exactly how TSan treats malloc).
+      rd->OnAlloc(self != nullptr ? self->id : -1,
+                  mem->os()->ToSimAddr(reinterpret_cast<uint64_t>(p)), n,
+                  self != nullptr ? self->clock : 0);
+    }
+    return p;
+  }
   void Free(void* p) { alloc->Free(p); }
+
+  /// Happens-before hooks for VirtualLock critical sections. VirtualLock is
+  /// analytical (no suspension, no engine pointer), so the *user* marks the
+  /// section: call LockAcquired right after VirtualLock::Acquire and
+  /// LockReleased once the protected writes are done. No-ops (one branch)
+  /// when the race detector is off.
+  void LockAcquired(const void* lock) {
+    if (sanity::RaceDetector* rd = mem->race()) {
+      rd->OnAcquire(self != nullptr ? self->id : -1, lock);
+    }
+  }
+  void LockReleased(const void* lock) {
+    if (sanity::RaceDetector* rd = mem->race()) {
+      rd->OnRelease(self != nullptr ? self->id : -1, lock);
+    }
+  }
 };
 
 /// \brief STL allocator adapter so containers used by workloads (group

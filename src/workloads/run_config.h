@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/mem/cost_model.h"
 #include "src/mem/page.h"
@@ -56,6 +57,12 @@ struct RunConfig {
   /// both implementations bit-for-bit (see MemSystem::SetScalarReference).
   bool scalar_mem_path = false;
 
+  /// Attach the numalab::sanity happens-before race detector to this run.
+  /// Reports land in RunResult::race_reports; simulated results are
+  /// unaffected (the detector is pure bookkeeping). See also
+  /// GlobalRaceDetect() for the process-wide --race-detect bench mode.
+  bool race_detect = false;
+
   mem::CostModel costs;  ///< ablation switches live here
 };
 
@@ -67,6 +74,8 @@ struct RunResult {
   uint64_t resident_peak = 0;    ///< simulated RSS peak
   uint64_t checksum = 0;         ///< workload-defined result digest
   uint64_t aux_cycles = 0;       ///< e.g. index build time for W4
+  uint64_t races = 0;            ///< racy pairs observed (race_detect runs)
+  std::vector<std::string> race_reports;  ///< rendered detector reports
 
   double MemoryOverhead() const {
     if (requested_peak == 0) return 0.0;
@@ -74,6 +83,15 @@ struct RunResult {
            static_cast<double>(requested_peak);
   }
 };
+
+/// Process-wide race-detection switch, flipped by the --race-detect bench
+/// flag before any run starts. When on, every SimContext attaches a
+/// detector regardless of RunConfig::race_detect, and SimContext::Finish
+/// prints all reports to stderr and exits nonzero if any race was seen —
+/// the CI contract of scripts/check.sh. Tests wanting to *inspect* races
+/// use RunConfig::race_detect instead, which only fills RunResult.
+bool GlobalRaceDetect();
+void SetGlobalRaceDetect(bool on);
 
 }  // namespace workloads
 }  // namespace numalab

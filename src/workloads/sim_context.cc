@@ -1,7 +1,18 @@
 #include "src/workloads/sim_context.h"
 
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
 namespace numalab {
 namespace workloads {
+
+namespace {
+bool g_race_detect = false;
+}  // namespace
+
+bool GlobalRaceDetect() { return g_race_detect; }
+void SetGlobalRaceDetect(bool on) { g_race_detect = on; }
 
 const char* DatasetName(Dataset d) {
   switch (d) {
@@ -24,6 +35,14 @@ SimContext::SimContext(const RunConfig& config)
       barrier_(&engine_, config.threads) {
   memsys_->os()->SetPolicy(config.policy, config.preferred_node);
   memsys_->SetScalarReference(config.scalar_mem_path);
+
+  // Attach the race detector before any VThread (daemons included) spawns,
+  // so every thread gets its fork edge.
+  if (config.race_detect || GlobalRaceDetect()) {
+    race_ = std::make_unique<sanity::RaceDetector>();
+    engine_.SetRaceDetector(race_.get());
+    memsys_->SetRaceDetector(race_.get());
+  }
 
   alloc::AllocEnv aenv{&engine_, memsys_->os(), &memsys_->costs()};
   allocator_ = alloc::MakeAllocator(config.allocator, aenv, &machine_);
@@ -68,6 +87,23 @@ void SimContext::Finish(RunResult* result) {
   result->report.system = sys_;
   result->requested_peak = allocator_->stats().requested_peak;
   result->resident_peak = memsys_->os()->resident_peak();
+
+  if (race_ != nullptr) {
+    result->races = race_->races_observed();
+    for (const auto& r : race_->reports()) {
+      result->race_reports.push_back(r.text);
+    }
+    if (g_race_detect && !race_->clean()) {
+      for (const auto& r : race_->reports()) {
+        std::fprintf(stderr, "%s\n\n", r.text.c_str());
+      }
+      std::fprintf(stderr,
+                   "numalab::sanity: %" PRIu64
+                   " racy access pair(s) detected; failing the run\n",
+                   race_->races_observed());
+      std::exit(1);
+    }
+  }
 }
 
 }  // namespace workloads

@@ -40,6 +40,9 @@ class SimContext {
   alloc::SimAllocator* allocator() { return allocator_.get(); }
   osmodel::ThreadScheduler* scheduler() { return &sched_; }
   sim::SimBarrier* barrier() { return &barrier_; }
+  /// Non-null iff this run has race detection attached (config.race_detect
+  /// or the process-wide --race-detect mode).
+  sanity::RaceDetector* race() { return race_.get(); }
 
   /// Allocates + pretouches an input array as if a single producer thread
   /// on node 0 generated it (see PretouchAsNode).
@@ -58,6 +61,7 @@ class SimContext {
   sim::Engine engine_;
   perf::SystemCounters sys_;
   std::unique_ptr<mem::MemSystem> memsys_;  // must precede sched_
+  std::unique_ptr<sanity::RaceDetector> race_;  // may be null (default)
   osmodel::ThreadScheduler sched_;
   std::unique_ptr<alloc::SimAllocator> allocator_;
   std::unique_ptr<osmodel::AutoNuma> autonuma_;

@@ -62,10 +62,13 @@ sim::Task W1Worker(Env& env, AggShared& shared, W1Table& table) {
                     : lo + per;
 
   // Phase 1: build the shared table, appending every value to its group.
+  // The append mutates the shared entry, so it runs inside the stripe's
+  // critical section (UpsertWith), not after it.
   for (uint64_t i = lo; i < hi; ++i) {
     env.Read(&shared.input[i], sizeof(datagen::Record));
-    auto* entry = table.Upsert(env, shared.input[i].key);
-    Append(env, &entry->value, shared.input[i].val);
+    table.UpsertWith(env, shared.input[i].key, [&](W1Table::Entry* entry) {
+      Append(env, &entry->value, shared.input[i].val);
+    });
     co_await env.Checkpoint();
   }
   co_await shared.ctx->barrier()->Arrive();
@@ -104,9 +107,10 @@ sim::Task W2Worker(Env& env, AggShared& shared, W2Table& table) {
 
   for (uint64_t i = lo; i < hi; ++i) {
     env.Read(&shared.input[i], sizeof(datagen::Record));
-    auto* entry = table.Upsert(env, shared.input[i].key);
-    ++entry->value;
-    env.Write(&entry->value, sizeof(uint64_t));
+    table.UpsertWith(env, shared.input[i].key, [&](W2Table::Entry* entry) {
+      ++entry->value;
+      env.Write(&entry->value, sizeof(uint64_t));
+    });
     co_await env.Checkpoint();
   }
   co_await shared.ctx->barrier()->Arrive();

@@ -63,9 +63,10 @@ sim::Task W3Worker(Env& env, JoinShared& shared, JoinTable& table) {
                                                         : lo + per;
   for (uint64_t i = lo; i < hi; ++i) {
     env.Read(&shared.build[i], sizeof(datagen::JoinTuple));
-    auto* e = table.Upsert(env, shared.build[i].key);
-    e->value = shared.build[i].payload;
-    env.Write(&e->value, sizeof(uint64_t));
+    table.UpsertWith(env, shared.build[i].key, [&](JoinTable::Entry* e) {
+      e->value = shared.build[i].payload;
+      env.Write(&e->value, sizeof(uint64_t));
+    });
     co_await env.Checkpoint();
   }
   co_await shared.ctx->barrier()->Arrive();

@@ -1,0 +1,120 @@
+// End-to-end selftest for the --race-detect pipeline, run as its own ctest
+// entry (not part of numalab_tests: the seeded half must observe the
+// process-level exit(1) contract, so it re-executes itself).
+//
+// Modes:
+//   (default)        seeded-race check via re-exec, then clean-run checks
+//                    over every workload family with the process-wide
+//                    detector armed — any report exits nonzero.
+//   --mode=seeded    runs two VThreads writing one cache line with no lock;
+//                    SimContext::Finish must print the report and exit 1.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/minidb/runner.h"
+#include "src/workloads/sim_context.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+using namespace numalab;  // NOLINT(build/namespaces) — test main only
+
+sim::Task RacyWriter(workloads::Env& env, uint64_t* shared) {
+  for (int i = 0; i < 4; ++i) {
+    env.Write(shared, sizeof(uint64_t));  // no lock: the seeded race
+    co_await env.Checkpoint();
+  }
+}
+
+int RunSeeded() {
+  workloads::SetGlobalRaceDetect(true);
+  workloads::RunConfig cfg;
+  cfg.threads = 2;
+  workloads::SimContext ctx(cfg);
+  auto* shared = static_cast<uint64_t*>(ctx.allocator()->Alloc(8));
+  ctx.SpawnWorkers(
+      [&](workloads::Env& env) { return RacyWriter(env, shared); });
+  workloads::RunResult result;
+  ctx.Finish(&result);  // must exit(1) before returning
+  std::fprintf(stderr, "seeded race was NOT caught\n");
+  return 0;  // reaching here at all is the failure the parent checks for
+}
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "sanity_selftest: FAILED: %s\n", what);
+  return 1;
+}
+
+/// Re-runs this binary with --mode=seeded and checks the exit-code +
+/// report contract.
+int CheckSeededMode(const char* self) {
+  std::string cmd = std::string(self) + " --mode=seeded 2>&1";
+  FILE* p = popen(cmd.c_str(), "r");
+  if (p == nullptr) return Fail("could not re-exec self");
+  std::string out;
+  char buf[512];
+  while (fgets(buf, sizeof(buf), p) != nullptr) out += buf;
+  int status = pclose(p);
+  if (status == 0) return Fail("seeded race exited 0 (must be nonzero)");
+  if (out.find("DATA RACE") == std::string::npos) {
+    std::fprintf(stderr, "--- child output ---\n%s", out.c_str());
+    return Fail("report does not say DATA RACE");
+  }
+  if (out.find("worker0") == std::string::npos ||
+      out.find("worker1") == std::string::npos) {
+    std::fprintf(stderr, "--- child output ---\n%s", out.c_str());
+    return Fail("report does not name both racing vthreads");
+  }
+  if (out.find("simulated line") == std::string::npos) {
+    std::fprintf(stderr, "--- child output ---\n%s", out.c_str());
+    return Fail("report does not name the racy line");
+  }
+  std::printf("seeded race: caught, nonzero exit, both vthreads named\n");
+  return 0;
+}
+
+/// Clean runs: with the process-wide detector armed, any false positive in
+/// the real workloads exits this process with 1 (and prints the report).
+int CheckCleanRuns() {
+  workloads::SetGlobalRaceDetect(true);
+
+  workloads::RunConfig cfg;
+  cfg.threads = 4;
+  cfg.num_records = 50'000;
+  cfg.cardinality = 5'000;
+  cfg.build_rows = 10'000;
+  cfg.probe_rows = 80'000;
+  workloads::RunW1HolisticAggregation(cfg);
+  std::printf("clean: W1\n");
+  workloads::RunW2DistributiveAggregation(cfg);
+  std::printf("clean: W2\n");
+  workloads::RunW3HashJoin(cfg);
+  std::printf("clean: W3\n");
+  for (const char* index : {"art", "masstree", "btree", "skiplist"}) {
+    workloads::RunW4IndexJoin(cfg, index);
+    std::printf("clean: W4/%s\n", index);
+  }
+
+  minidb::TpchOptions topt;
+  topt.scale = 0.01;
+  for (int q : {1, 3, 5, 18}) {
+    topt.query = q;
+    minidb::RunTpch(topt);
+    std::printf("clean: minidb Q%d\n", q);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mode=seeded") == 0) return RunSeeded();
+  }
+  if (int rc = CheckSeededMode(argv[0])) return rc;
+  if (int rc = CheckCleanRuns()) return rc;
+  std::printf("sanity_selftest: OK\n");
+  return 0;
+}
