@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/faultlab/faultlab.h"
 #include "src/workloads/run_config.h"
 
 namespace numalab {
@@ -94,6 +95,19 @@ inline void ValidateFlags(int argc, char** argv) {
 inline void ParseRaceDetectFlag(int argc, char** argv) {
   workloads::SetGlobalRaceDetect(
       FlagU64(argc, argv, "race-detect", 0) != 0);
+}
+
+/// Declares and applies the --faultlab=0|1 flag every bench accepts:
+/// nonzero installs the canned faultlab::MemoryPressurePlan() as the
+/// process-wide fault plan (see workloads::GlobalFaultPlan), capping every
+/// simulated node's memory so binds spill along the zonelist. Runs stay
+/// deterministic but their numbers differ from the no-fault goldens —
+/// FAULTLAB=1 ./run_benches.sh is a robustness gate, not a reproduction
+/// run.
+inline void ParseFaultlabFlag(int argc, char** argv) {
+  if (FlagU64(argc, argv, "faultlab", 0) != 0) {
+    workloads::SetGlobalFaultPlan(faultlab::MemoryPressurePlan());
+  }
 }
 
 /// The paper's "modified OS configuration": Sparse affinity, AutoNUMA and

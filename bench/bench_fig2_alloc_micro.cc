@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   uint64_t ops = numalab::bench::FlagU64(
       argc, argv, "ops", 60'000);  // default scaled from the paper's 100M ops/thread
   numalab::bench::ParseRaceDetectFlag(argc, argv);
+  numalab::bench::ParseFaultlabFlag(argc, argv);
   numalab::bench::ValidateFlags(argc, argv);
   const auto& allocators = numalab::alloc::AllAllocatorNames();
 

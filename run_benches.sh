@@ -1,28 +1,51 @@
 #!/bin/bash
 # Runs every bench binary in order, echoing a header per binary.
 #
-# Exit status: 0 only if every binary exits 0. A missing or failing binary
-# is reported immediately and again in a summary line, and the script exits
-# with the (first) failing binary's status so CI cannot mask bench failures.
+# Exit status: 0 only if every binary exits 0. A missing, failing, or
+# timed-out binary is reported immediately and again in a summary line, and
+# the script exits with the (first) failing binary's status so CI cannot
+# mask bench failures.
 #
 # Environment knobs:
-#   BUILD_DIR=<dir>   bench binaries are taken from <dir>/bench (default: build)
-#   RACE_DETECT=1     pass --race-detect=1 to every bench: the simulated-thread
-#                     race detector runs and any report makes that bench exit 1
+#   BUILD_DIR=<dir>        bench binaries are taken from <dir>/bench
+#                          (default: build)
+#   RACE_DETECT=1          pass --race-detect=1 to every bench: the
+#                          simulated-thread race detector runs and any
+#                          report makes that bench exit 1
+#   FAULTLAB=1             pass --faultlab=1 to every bench (canned per-node
+#                          memory-pressure plan; see src/faultlab) and also
+#                          run the bench_faultlab_grid robustness sweep
+#   BENCH_TIMEOUT_SECS=N   per-bench watchdog via timeout(1); a bench that
+#                          exceeds it is killed and reported as timed out
+#                          (default: 600, 0 disables)
 set -u
 build_dir=${BUILD_DIR:-build}
+timeout_secs=${BENCH_TIMEOUT_SECS:-600}
 extra_args=()
 if [[ ${RACE_DETECT:-0} != 0 ]]; then
   extra_args+=(--race-detect=1)
   echo "run_benches.sh: race detection enabled (--race-detect=1)"
 fi
+benches=(bench_machines bench_fig2_alloc_micro bench_fig3_affinity_variance
+         bench_fig4_sparse_dense bench_table3_profile bench_fig5_os_config
+         bench_fig6_allocators bench_fig7_indexes bench_fig8_tpch
+         bench_fig9_tpch_alloc bench_fig10_advisor bench_ablations
+         bench_ext_onchip_numa)
+if [[ ${FAULTLAB:-0} != 0 ]]; then
+  extra_args+=(--faultlab=1)
+  benches+=(bench_faultlab_grid)
+  echo "run_benches.sh: fault injection enabled (--faultlab=1)"
+fi
+# timeout(1) wrapper; falls back to no watchdog if coreutils timeout is
+# missing or the watchdog is disabled.
+wrapper=()
+if [[ $timeout_secs != 0 ]] && command -v timeout >/dev/null 2>&1; then
+  wrapper=(timeout "$timeout_secs")
+fi
 failed=()
+timed_out=()
 status=0
-for b in bench_machines bench_fig2_alloc_micro bench_fig3_affinity_variance \
-         bench_fig4_sparse_dense bench_table3_profile bench_fig5_os_config \
-         bench_fig6_allocators bench_fig7_indexes bench_fig8_tpch \
-         bench_fig9_tpch_alloc bench_fig10_advisor bench_ablations \
-         bench_ext_onchip_numa; do
+for b in "${benches[@]}"; do
   echo "===================================================================="
   echo "== $b"
   echo "===================================================================="
@@ -33,15 +56,24 @@ for b in bench_machines bench_fig2_alloc_micro bench_fig3_affinity_variance \
     echo
     continue
   fi
-  ./"$build_dir"/bench/"$b" ${extra_args[@]+"${extra_args[@]}"}
+  ${wrapper[@]+"${wrapper[@]}"} ./"$build_dir"/bench/"$b" \
+      ${extra_args[@]+"${extra_args[@]}"}
   rc=$?
-  if [[ $rc -ne 0 ]]; then
+  if [[ $rc -eq 124 && ${#wrapper[@]} -gt 0 ]]; then
+    echo "run_benches.sh: FAIL: $b timed out after ${timeout_secs}s" >&2
+    timed_out+=("$b")
+    failed+=("$b")
+    [[ $status -eq 0 ]] && status=$rc
+  elif [[ $rc -ne 0 ]]; then
     echo "run_benches.sh: FAIL: $b exited with status $rc" >&2
     failed+=("$b")
     [[ $status -eq 0 ]] && status=$rc
   fi
   echo
 done
+if [[ ${#timed_out[@]} -gt 0 ]]; then
+  echo "run_benches.sh: ${#timed_out[@]} bench(es) timed out (>${timeout_secs}s): ${timed_out[*]}" >&2
+fi
 if [[ ${#failed[@]} -gt 0 ]]; then
   echo "run_benches.sh: ${#failed[@]} bench(es) failed: ${failed[*]}" >&2
   exit "$status"

@@ -5,6 +5,10 @@
 #   2. address,undefined-sanitized build + full ctest
 #   3. clang-tidy build (skipped with a notice if clang-tidy is not on PATH)
 #   4. race-detector clean pass over the whole bench suite (RACE_DETECT=1)
+#   5. no-fault bench stdout must be byte-identical to the committed golden
+#      (bench/golden/run_benches.stdout) — the faultlab zero-cost contract
+#   6. fault-injection pass: the whole bench suite plus the faultlab grid
+#      under the canned memory-pressure plan (FAULTLAB=1) must exit 0
 #
 # Exits non-zero on the first failing stage. Build trees are kept under
 # build-check-* so they never collide with a developer's ./build.
@@ -21,18 +25,18 @@ run() {
   fi
 }
 
-echo "==== stage 1/4: plain build + ctest ===="
+echo "==== stage 1/6: plain build + ctest ===="
 run cmake -B build-check -S . -G Ninja
 run cmake --build build-check
 run ctest --test-dir build-check --output-on-failure
 
-echo "==== stage 2/4: address,undefined sanitizers + ctest ===="
+echo "==== stage 2/6: address,undefined sanitizers + ctest ===="
 run cmake -B build-check-asan -S . -G Ninja \
     -DNUMALAB_SANITIZE=address,undefined
 run cmake --build build-check-asan
 run ctest --test-dir build-check-asan --output-on-failure
 
-echo "==== stage 3/4: clang-tidy build ===="
+echo "==== stage 3/6: clang-tidy build ===="
 if command -v clang-tidy >/dev/null 2>&1; then
   run cmake -B build-check-tidy -S . -G Ninja -DNUMALAB_CLANG_TIDY=ON
   run cmake --build build-check-tidy
@@ -42,9 +46,28 @@ else
        "full gate."
 fi
 
-echo "==== stage 4/4: race-detector clean bench run ===="
+echo "==== stage 4/6: race-detector clean bench run ===="
 # Reuses the plain stage-1 build; every bench runs with --race-detect=1 and
 # any report makes the binary (and therefore run_benches.sh) exit non-zero.
 run env BUILD_DIR=build-check RACE_DETECT=1 ./run_benches.sh
+
+echo "==== stage 5/6: no-fault bench stdout vs committed golden ===="
+# The faultlab zero-cost contract: with no fault plan installed, the whole
+# bench suite must produce byte-identical stdout to the committed golden.
+# Any drift means the no-fault path changed behaviour.
+echo "check.sh: env BUILD_DIR=build-check ./run_benches.sh > build-check/run_benches.stdout"
+env BUILD_DIR=build-check ./run_benches.sh > build-check/run_benches.stdout
+rc=$?
+if [[ $rc -ne 0 ]]; then
+  echo "check.sh: FAIL (exit $rc): no-fault bench run" >&2
+  exit "$rc"
+fi
+run cmp bench/golden/run_benches.stdout build-check/run_benches.stdout
+
+echo "==== stage 6/6: fault-injection bench run (FAULTLAB=1) ===="
+# Every bench plus the faultlab pressure grid runs under the canned
+# per-node memory-pressure plan; every cell must degrade gracefully
+# (spill, not crash) and the suite must exit 0.
+run env BUILD_DIR=build-check FAULTLAB=1 ./run_benches.sh
 
 echo "check.sh: all stages passed"

@@ -1,26 +1,51 @@
 #include "src/alloc/allocator.h"
 
+#include "src/faultlab/faultlab.h"
+
 namespace numalab {
 namespace alloc {
 
-void* SimAllocator::Alloc(size_t n) {
+namespace {
+// Direct-reclaim stall charged per infallible-Alloc retry of an injected
+// failure (the kernel's "too small to fail" loop is not free).
+constexpr uint64_t kReclaimStallCycles = 5000;
+constexpr int kMaxAllocRetries = 64;
+}  // namespace
+
+void* SimAllocator::TryAlloc(size_t n) {
   if (n == 0) n = 1;
   sim::VThread* vt = env_.engine->current();
   uint64_t before = vt != nullptr ? vt->clock : 0;
 
   void* p;
-  if (n > SizeClasses::kMaxSmall) {
+  if (vt != nullptr && env_.faults != nullptr &&
+      env_.faults->DrawAllocFailure()) {
+    // Injected ENOMEM. Setup allocations (vt == nullptr) are exempt so a
+    // plan cannot fail dataset construction before the run starts.
+    p = nullptr;
+  } else if (n > SizeClasses::kMaxSmall) {
     p = AllocLarge(n);
   } else {
     int cls = SizeClasses::ClassFor(n);
     p = AllocSmall(cls);
-    stats_.OnAlloc(SizeClasses::ClassSize(cls));
+    if (p != nullptr) stats_.OnAlloc(SizeClasses::ClassSize(cls));
   }
 
   if (vt != nullptr) {
     ++vt->counters.alloc_calls;
     vt->counters.alloc_cycles += vt->clock - before;
   }
+  return p;
+}
+
+void* SimAllocator::Alloc(size_t n) {
+  void* p = TryAlloc(n);
+  for (int i = 0; p == nullptr && i < kMaxAllocRetries; ++i) {
+    env_.Charge(kReclaimStallCycles);
+    p = TryAlloc(n);
+  }
+  NUMALAB_CHECK(p != nullptr &&
+                "infallible allocation failed after bounded retries");
   return p;
 }
 
@@ -66,7 +91,8 @@ void* SimAllocator::AllocLarge(size_t n) {
     }
   }
   if (region == nullptr) {
-    region = env_.os->Map(key);
+    region = env_.os->TryMap(key);
+    if (region == nullptr) return nullptr;
     env_.Charge(env_.costs->syscall_cycles);
   }
   auto* hdr = reinterpret_cast<ObjHeader*>(region->host);

@@ -34,8 +34,17 @@ class SimAllocator {
   SimAllocator(const SimAllocator&) = delete;
   SimAllocator& operator=(const SimAllocator&) = delete;
 
-  /// Allocates `n` bytes, 16-aligned. Never returns nullptr (the simulated
-  /// machines never over-commit in our workloads; exhaustion is a CHECK).
+  /// Allocates `n` bytes, 16-aligned. May return nullptr: under a faultlab
+  /// plan on simulated ENOMEM injection, or when the simulated address
+  /// space is exhausted. Workload code reaches this through Env::TryAlloc,
+  /// which converts nullptr into a run Status.
+  void* TryAlloc(size_t n);
+
+  /// Infallible Alloc for setup paths and index internals ("too small to
+  /// fail" kernel semantics): retries injected failures with a bounded
+  /// reclaim stall, CHECK-fails if the failure is permanent. With
+  /// alloc_fail_prob == 1.0 the retries cannot succeed, so fault tests
+  /// exercising p=1 must stay on TryAlloc paths.
   void* Alloc(size_t n);
 
   /// Frees a pointer obtained from Alloc. nullptr is a no-op.

@@ -11,7 +11,9 @@ std::pair<mem::Region*, uint64_t> BackingSource::Take(AllocEnv* env,
                  ~(mem::kSmallPageBytes - 1);
   NUMALAB_CHECK(len <= kRegionBytes);
   if (current_ == nullptr || offset_ + len > current_->len) {
-    current_ = env->os->Map(kRegionBytes);
+    mem::Region* fresh = env->os->TryMap(kRegionBytes);
+    if (fresh == nullptr) return {nullptr, 0};
+    current_ = fresh;
     env->Charge(env->costs->syscall_cycles);
     offset_ = 0;
   }
@@ -29,6 +31,7 @@ void* ClassPool::Carve(AllocEnv* env, const topology::Machine& machine,
   if (chunks_head_ == nullptr ||
       chunks_head_->bump + stride > chunks_head_->end) {
     auto [region, off] = backing->Take(env, chunk_bytes);
+    if (region == nullptr) return nullptr;
     auto* chunk = new Chunk();
     chunk->region = region;
     chunk->base = region->host + off;

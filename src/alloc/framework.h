@@ -35,6 +35,9 @@
 #include "src/sim/sync.h"
 
 namespace numalab {
+namespace faultlab {
+class FaultLab;
+}  // namespace faultlab
 namespace alloc {
 
 /// \brief Everything an allocator needs from the simulation.
@@ -42,6 +45,8 @@ struct AllocEnv {
   sim::Engine* engine = nullptr;
   mem::SimOS* os = nullptr;
   const mem::CostModel* costs = nullptr;
+  /// faultlab allocation-failure injection; null in no-fault runs.
+  faultlab::FaultLab* faults = nullptr;
 
   sim::VThread* Cur() const { return engine->current(); }
   /// Virtual thread id of the caller; 0 when called outside a coroutine
@@ -111,7 +116,9 @@ class BackingSource {
  public:
   static constexpr uint64_t kRegionBytes = 4ULL << 20;
 
-  /// Returns (region, offset) of a fresh `bytes` range (4K-aligned).
+  /// Returns (region, offset) of a fresh `bytes` range (4K-aligned), or
+  /// {nullptr, 0} when the simulated address space is exhausted (the
+  /// current region is kept, so a later smaller Take can still succeed).
   std::pair<mem::Region*, uint64_t> Take(AllocEnv* env, uint64_t bytes);
 
  private:
@@ -208,7 +215,9 @@ class ClassPool {
   /// Carves one object (header + payload) for class `cls`; takes a new
   /// chunk of `chunk_bytes` from `backing` when the current one is
   /// exhausted. Marks newly crossed pages resident/bound (the free-link
-  /// write is the first touch). Returns the payload pointer.
+  /// write is the first touch). Returns the payload pointer, or nullptr
+  /// when the backing source cannot map a fresh chunk — allocator impls
+  /// must propagate the nullptr (and never FreePush it).
   void* Carve(AllocEnv* env, const topology::Machine& machine, int cls,
               size_t chunk_bytes, uint32_t owner, BackingSource* backing);
 

@@ -57,8 +57,10 @@ class JeMalloc : public SimAllocator {
     env_.Charge(kArenaWorkCycles);
 
     void* first = TakeFromArena(arena, aid, cls);
-    for (int i = 0; i < kTcacheFill; ++i) {
-      FreePush(&tc.bins[cls], TakeFromArena(arena, aid, cls));
+    for (int i = 0; first != nullptr && i < kTcacheFill; ++i) {
+      void* extra = TakeFromArena(arena, aid, cls);
+      if (extra == nullptr) break;  // backing exhausted mid-refill
+      FreePush(&tc.bins[cls], extra);
     }
     return first;
   }

@@ -56,10 +56,12 @@ class McMalloc : public SimAllocator {
       env_.Charge(kOwnerAllocCycles);
       void* first = pool.dedicated[cls].Carve(&env_, *machine_, cls, batch,
                                               static_cast<uint32_t>(tid), &backing_);
-      for (size_t i = 1; i < count; ++i) {
-        FreePush(&pool.bins[cls],
-                 pool.dedicated[cls].Carve(&env_, *machine_, cls, batch,
-                                           static_cast<uint32_t>(tid), &backing_));
+      for (size_t i = 1; first != nullptr && i < count; ++i) {
+        void* extra = pool.dedicated[cls].Carve(
+            &env_, *machine_, cls, batch, static_cast<uint32_t>(tid),
+            &backing_);
+        if (extra == nullptr) break;  // backing exhausted mid-batch
+        FreePush(&pool.bins[cls], extra);
       }
       return first;
     }

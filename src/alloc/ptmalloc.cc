@@ -61,8 +61,9 @@ class PtMalloc : public SimAllocator {
     }
 
     void* first = TakeFromArena(arena, cls);
-    for (int i = 0; i < kTcacheFill; ++i) {
+    for (int i = 0; first != nullptr && i < kTcacheFill; ++i) {
       void* extra = TakeFromArena(arena, cls);
+      if (extra == nullptr) break;  // backing exhausted mid-refill
       FreePush(&tc.bins[cls], extra);
     }
     return first;

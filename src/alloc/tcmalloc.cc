@@ -56,8 +56,10 @@ class TcMalloc : public SimAllocator {
     env_.Charge(kCentralWorkCycles);
 
     void* first = TakeCentral(&central, cls);
-    for (int i = 0; i < kTransferBatch - 1; ++i) {
-      FreePush(&tc.bins[cls], TakeCentral(&central, cls));
+    for (int i = 0; first != nullptr && i < kTransferBatch - 1; ++i) {
+      void* extra = TakeCentral(&central, cls);
+      if (extra == nullptr) break;  // backing exhausted mid-refill
+      FreePush(&tc.bins[cls], extra);
     }
     MaybeScavenge(&central);
     return first;

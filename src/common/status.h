@@ -7,10 +7,11 @@
 #ifndef NUMALAB_COMMON_STATUS_H_
 #define NUMALAB_COMMON_STATUS_H_
 
-#include <cassert>
 #include <string>
 #include <utility>
 #include <variant>
+
+#include "src/common/logging.h"
 
 namespace numalab {
 
@@ -24,6 +25,8 @@ class Status {
     kOutOfMemory,
     kAlreadyExists,
     kInternal,
+    kDeadlineExceeded,
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -43,6 +46,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -65,6 +74,8 @@ class Status {
       case Code::kOutOfMemory: return "OutOfMemory";
       case Code::kAlreadyExists: return "AlreadyExists";
       case Code::kInternal: return "Internal";
+      case Code::kDeadlineExceeded: return "DeadlineExceeded";
+      case Code::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }
@@ -79,7 +90,10 @@ class Result {
  public:
   Result(T value) : v_(std::move(value)) {}           // NOLINT implicit
   Result(Status status) : v_(std::move(status)) {     // NOLINT implicit
-    assert(!std::get<Status>(v_).ok());
+    // A Result built from a Status must carry an error; NUMALAB_CHECK (not
+    // assert) so the contract also holds in NDEBUG builds.
+    NUMALAB_CHECK(!std::get<Status>(v_).ok() &&
+                  "Result<T> constructed from an OK Status");
   }
 
   bool ok() const { return std::holds_alternative<T>(v_); }
@@ -97,5 +111,15 @@ class Result {
 };
 
 }  // namespace numalab
+
+/// Propagates a non-OK Status to the caller. The expression is evaluated
+/// exactly once.
+#define NUMALAB_RETURN_IF_ERROR(expr)                   \
+  do {                                                  \
+    ::numalab::Status numalab_status_tmp_ = (expr);     \
+    if (!numalab_status_tmp_.ok()) {                    \
+      return numalab_status_tmp_;                       \
+    }                                                   \
+  } while (0)
 
 #endif  // NUMALAB_COMMON_STATUS_H_

@@ -58,6 +58,10 @@ class ConcurrentHashTable {
   /// upserts of the same key while the stripe is held, and the race
   /// detector checks exactly that contract. Thread-safe via striped locks;
   /// charges all traffic to env's thread.
+  ///
+  /// Returns nullptr (without running `mutate`) when creating the entry
+  /// fails under a faultlab plan — env.Failed() is then set and workers
+  /// should wind down (but still arrive at shared barriers).
   template <typename F>
   Entry* UpsertWith(workloads::Env& env, uint64_t key, F&& mutate) {
     env.Compute(kHashCycles);
@@ -76,7 +80,12 @@ class ConcurrentHashTable {
       e = e->next;
     }
     if (e == nullptr) {
-      e = static_cast<Entry*>(env.Alloc(sizeof(Entry)));
+      void* raw = env.TryAlloc(sizeof(Entry));
+      if (raw == nullptr) {
+        env.LockReleased(&stripe);
+        return nullptr;
+      }
+      e = static_cast<Entry*>(raw);
       new (e) Entry{key, buckets_[b], V{}};
       buckets_[b] = e;
       env.Write(e, sizeof(Entry));

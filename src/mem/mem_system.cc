@@ -57,6 +57,30 @@ MemSystem::MemSystem(const topology::Machine* machine, sim::Engine* engine,
   }
 }
 
+void MemSystem::ApplyLinkDegradation(const std::vector<int>& links,
+                                     double scale) {
+  if (links.empty() || scale == 1.0) return;
+  for (int s = 0; s < machine_->num_nodes(); ++s) {
+    for (int d = 0; d < machine_->num_nodes(); ++d) {
+      if (s == d) continue;
+      bool crosses = false;
+      for (int hop : machine_->Route(s, d)) {
+        for (int bad : links) {
+          if (hop == bad) {
+            crosses = true;
+            break;
+          }
+        }
+        if (crosses) break;
+      }
+      if (crosses) {
+        auto& cell = lat_table_[static_cast<size_t>(s)][static_cast<size_t>(d)];
+        cell = static_cast<uint64_t>(static_cast<double>(cell) * scale);
+      }
+    }
+  }
+}
+
 void MemSystem::SetRaceDetector(sanity::RaceDetector* rd) {
   static_assert(sanity::kShadowLineBytes == kCacheLineBytes,
                 "shadow lines must match the modelled cache line");

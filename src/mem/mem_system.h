@@ -93,6 +93,12 @@ class MemSystem {
   /// Pure CPU work (hashing, comparisons) — no memory modelling.
   void Compute(sim::VThread* vt, uint64_t cycles) { vt->Charge(cycles); }
 
+  /// faultlab link degradation: multiplies the precomputed DRAM latency of
+  /// every (src, dst) pair whose route crosses one of `links` by `scale`
+  /// (truncated). A static table rewrite, so the scalar and span paths stay
+  /// bit-identical and the no-fault path never pays for it.
+  void ApplyLinkDegradation(const std::vector<int>& links, double scale);
+
   /// Routes Access/AccessSpan through the unbatched reference
   /// implementation. The span parity tests run fixed workloads under both
   /// settings and require bit-identical results; keep this off otherwise.

@@ -2,6 +2,8 @@
 
 #include <sys/mman.h>
 
+#include <algorithm>
+
 namespace numalab {
 namespace mem {
 
@@ -14,11 +16,34 @@ SimOS::SimOS(const topology::Machine* machine, sim::Engine* engine,
       contention_(contention),
       sys_(sys),
       slot_region_(kSlabBytes / kSlotBytes, nullptr),
-      node_bound_bytes_(static_cast<size_t>(machine->num_nodes()), 0) {
+      node_bound_bytes_(static_cast<size_t>(machine->num_nodes()), 0),
+      node_cap_(static_cast<size_t>(machine->num_nodes()),
+                machine->node_memory_bytes()) {
   void* p = mmap(nullptr, kSlabBytes, PROT_READ | PROT_WRITE,
                  MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
   NUMALAB_CHECK(p != MAP_FAILED);
   slab_ = reinterpret_cast<uint64_t>(p);
+
+  // Linux zonelist per node: all nodes sorted by interconnect distance,
+  // nearest first, ties broken by node id (stable sort over the id order).
+  zonelist_.resize(static_cast<size_t>(machine->num_nodes()));
+  for (int n = 0; n < machine->num_nodes(); ++n) {
+    auto& zl = zonelist_[static_cast<size_t>(n)];
+    for (int m = 0; m < machine->num_nodes(); ++m) zl.push_back(m);
+    std::stable_sort(zl.begin(), zl.end(), [&](int a, int b) {
+      return machine->Hops(n, a) < machine->Hops(n, b);
+    });
+  }
+}
+
+void SimOS::SetFaultLab(faultlab::FaultLab* faults) {
+  faults_ = faults;
+  for (int n = 0; n < machine_->num_nodes(); ++n) {
+    node_cap_[static_cast<size_t>(n)] =
+        faults != nullptr
+            ? faults->NodeCapacityBytes(n, machine_->node_memory_bytes())
+            : machine_->node_memory_bytes();
+  }
 }
 
 SimOS::~SimOS() {
@@ -27,6 +52,12 @@ SimOS::~SimOS() {
 }
 
 Region* SimOS::Map(uint64_t bytes, bool thp_eligible) {
+  Region* region = TryMap(bytes, thp_eligible);
+  NUMALAB_CHECK(region != nullptr && "simulated address space exhausted");
+  return region;
+}
+
+Region* SimOS::TryMap(uint64_t bytes, bool thp_eligible) {
   uint64_t len = (bytes + kSmallPageBytes - 1) & ~(kSmallPageBytes - 1);
   uint64_t nslots = (len + kSlotBytes - 1) / kSlotBytes;
 
@@ -36,10 +67,11 @@ Region* SimOS::Map(uint64_t bytes, bool thp_eligible) {
     slot = it->second.back();
     it->second.pop_back();
   } else {
+    if ((bump_slot_ + nslots) * kSlotBytes > kSlabBytes) {
+      return nullptr;  // address space exhausted; caller decides severity
+    }
     slot = bump_slot_;
     bump_slot_ += nslots;
-    NUMALAB_CHECK(bump_slot_ * kSlotBytes <= kSlabBytes &&
-                  "simulated address space exhausted");
   }
 
   auto* region = new Region();
@@ -60,7 +92,7 @@ Region* SimOS::Map(uint64_t bytes, bool thp_eligible) {
       local = machine_->NodeOfHwThread(engine_->current()->hw_thread);
     }
     for (auto& p : region->pages) {
-      p.node = static_cast<int16_t>(ChooseBindNode(local));
+      p.node = static_cast<int16_t>(BindWithSpill(ChooseBindNode(local)));
       node_bound_bytes_[static_cast<size_t>(p.node)] += kSmallPageBytes;
     }
   }
@@ -128,18 +160,44 @@ int SimOS::ChooseBindNode(int accessor_node) {
       interleave_cursor_ = (interleave_cursor_ + 1) % machine_->num_nodes();
       return n;
     }
-    case MemPolicy::kPreferred: {
-      uint64_t cap = machine_->node_memory_bytes();
-      if (node_bound_bytes_[static_cast<size_t>(preferred_node_)] < cap) {
-        return preferred_node_;
-      }
-      // Preferred node exhausted: spill round-robin over the others.
-      int n = interleave_cursor_;
-      interleave_cursor_ = (interleave_cursor_ + 1) % machine_->num_nodes();
-      return n == preferred_node_ ? (n + 1) % machine_->num_nodes() : n;
-    }
+    case MemPolicy::kPreferred:
+      // Exhaustion of the preferred node is handled by BindWithSpill's
+      // zonelist walk, matching the kernel's MPOL_PREFERRED fallback.
+      return preferred_node_;
   }
   return accessor_node;
+}
+
+int SimOS::BindWithSpill(int desired, uint64_t bytes) {
+  uint64_t now = 0;
+  if (sim::VThread* vt = engine_->current()) now = vt->clock;
+  bool desired_online =
+      faults_ == nullptr || faults_->NodeOnline(desired, now);
+  if (desired_online && NodeHasRoom(desired, bytes)) return desired;
+
+  // Walk the desired node's zonelist (nearest-distance order) for an
+  // online node with room — the kernel's fallback allocation order.
+  for (int n : zonelist_[static_cast<size_t>(desired)]) {
+    if (n == desired) continue;
+    if (faults_ != nullptr && !faults_->NodeOnline(n, now)) continue;
+    if (!NodeHasRoom(n, bytes)) continue;
+    if (desired_online) {
+      ++sys_->pages_spilled;
+    } else {
+      ++sys_->offline_redirects;
+    }
+    return n;
+  }
+
+  // Every zone full: bind anyway ("too small to fail" OOM semantics) on
+  // the nearest online node, so the simulation degrades instead of dying.
+  ++sys_->oom_last_resort_pages;
+  if (!desired_online) {
+    for (int n : zonelist_[static_cast<size_t>(desired)]) {
+      if (n != desired && faults_->NodeOnline(n, now)) return n;
+    }
+  }
+  return desired;
 }
 
 void SimOS::AddResident(Region* region, size_t idx) {
@@ -179,15 +237,18 @@ int SimOS::TouchSlow(Region* region, size_t idx, int accessor_node) {
         }
       }
       if (pristine) {
-        int node = ChooseBindNode(accessor_node);
+        int node = BindWithSpill(ChooseBindNode(accessor_node),
+                                 kHugePageBytes);
+        // Bind and charge every subpage, matching the representation of a
+        // khugepaged-collapsed run, so capacity enforcement sees the full
+        // 2M (not a head-only 4K undercount).
         for (int i = 0; i < kSmallPagesPerHuge; ++i) {
           PageRec& q = region->pages[head_idx + static_cast<size_t>(i)];
           q.huge = 1;
+          q.node = static_cast<int16_t>(node);
+          node_bound_bytes_[static_cast<size_t>(node)] += kSmallPageBytes;
           AddResident(region, head_idx + static_cast<size_t>(i));
         }
-        PageRec& head = region->pages[head_idx];
-        head.node = static_cast<int16_t>(node);
-        node_bound_bytes_[static_cast<size_t>(node)] += kSmallPageBytes;
         ++sys_->thp_collapses;
         return node;
       }
@@ -197,7 +258,8 @@ int SimOS::TouchSlow(Region* region, size_t idx, int accessor_node) {
   size_t eff = p.huge ? region->HugeHead(idx) : idx;
   PageRec& head = region->pages[eff];
   if (head.node < 0) {
-    head.node = static_cast<int16_t>(ChooseBindNode(accessor_node));
+    head.node =
+        static_cast<int16_t>(BindWithSpill(ChooseBindNode(accessor_node)));
     node_bound_bytes_[static_cast<size_t>(head.node)] += kSmallPageBytes;
   }
   AddResident(region, idx);
@@ -209,6 +271,16 @@ void SimOS::MigratePage(Region* region, size_t idx, int to_node,
   size_t eff = region->pages[idx].huge ? region->HugeHead(idx) : idx;
   PageRec& head = region->pages[eff];
   if (head.node == to_node) return;
+  if (faults_ != nullptr) {
+    // An offline node takes no new pages, and migrate_pages can fail on
+    // pinned/busy pages — both leave the page where it is (counted by the
+    // draw); the kernel retries via later hinting faults.
+    if (!faults_->NodeOnline(to_node, now)) {
+      ++sys_->migration_failures_injected;
+      return;
+    }
+    if (faults_->DrawMigrationFailure()) return;
+  }
   ++mutation_gen_;
   uint64_t bytes = head.huge ? kHugePageBytes : kSmallPageBytes;
   if (head.node >= 0) {

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/faultlab/faultlab.h"
 #include "src/mem/contention.h"
 #include "src/mem/cost_model.h"
 #include "src/mem/page.h"
@@ -50,11 +51,37 @@ class SimOS {
   /// run faults in the whole run as one huge page on one node.
   void SetThpFaultAlloc(bool on) { thp_fault_alloc_ = on; }
 
+  /// Attaches the faultlab runtime: per-node capacities are rescaled per
+  /// the plan and offline/migration-failure events become live. Null (the
+  /// default) keeps capacities at Machine::node_memory_bytes and costs one
+  /// branch on the bind slow path.
+  void SetFaultLab(faultlab::FaultLab* faults);
+
   /// Maps `bytes` (rounded up to 4K; regions are 2M-aligned within the
   /// slab). Pages are bound immediately for Interleave/LocalAlloc/Preferred
   /// and lazily (at first touch) for FirstTouch. Does not charge cycles —
   /// the calling allocator charges its own syscall cost.
+  /// CHECK-fails when the simulated address space is exhausted; fallible
+  /// callers use TryMap.
   Region* Map(uint64_t bytes, bool thp_eligible = true);
+
+  /// Map that returns nullptr instead of aborting when the simulated
+  /// address space is exhausted — the allocator chain propagates the
+  /// failure up to Env::TryAlloc as Status::OutOfMemory.
+  Region* TryMap(uint64_t bytes, bool thp_eligible = true);
+
+  /// Linux-style zonelist of `node`: all nodes ordered by distance
+  /// (Machine::Hops, ties by node id), starting with `node` itself. Page
+  /// binds walk this order when their desired node is full or offline.
+  const std::vector<int>& Zonelist(int node) const {
+    return zonelist_[static_cast<size_t>(node)];
+  }
+
+  /// Effective per-node capacity being enforced (machine size, or the
+  /// faultlab-scaled value when a plan is attached).
+  uint64_t NodeCapacityBytes(int node) const {
+    return node_cap_[static_cast<size_t>(node)];
+  }
 
   /// Unmaps; the address range is recycled for future mappings.
   void Unmap(Region* region);
@@ -122,6 +149,14 @@ class SimOS {
   static constexpr uint64_t kSlotBytes = kHugePageBytes;
 
   int ChooseBindNode(int accessor_node);
+  /// Applies capacity enforcement + zonelist spill to a policy-chosen bind
+  /// target for a `bytes`-sized bind (4K page or 2M THP run). Returns
+  /// `desired` unchanged in the no-pressure common case.
+  int BindWithSpill(int desired, uint64_t bytes = kSmallPageBytes);
+  bool NodeHasRoom(int node, uint64_t bytes) const {
+    return node_bound_bytes_[static_cast<size_t>(node)] + bytes <=
+           node_cap_[static_cast<size_t>(node)];
+  }
   void AddResident(Region* region, size_t idx);
   int TouchSlow(Region* region, size_t idx, int accessor_node);
   void DropResident(Region* region, size_t idx);
@@ -147,6 +182,10 @@ class SimOS {
   uint64_t resident_peak_ = 0;
   uint64_t mutation_gen_ = 0;
   std::vector<uint64_t> node_bound_bytes_;
+
+  faultlab::FaultLab* faults_ = nullptr;
+  std::vector<uint64_t> node_cap_;            ///< enforced capacity per node
+  std::vector<std::vector<int>> zonelist_;    ///< [node] -> fallback order
 };
 
 }  // namespace mem

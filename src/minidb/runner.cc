@@ -92,6 +92,7 @@ TpchResult RunTpch(const TpchOptions& options) {
   ctx.Finish(&r);
 
   TpchResult out;
+  out.status = r.status;
   out.cycles = r.cycles > warm_start ? r.cycles - warm_start : r.cycles;
   out.out = warm_state.out;
   out.workers = workers;

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/common/status.h"
 #include "src/minidb/queries.h"
 
 namespace numalab {
@@ -28,6 +29,9 @@ struct TpchOptions {
 };
 
 struct TpchResult {
+  /// Propagated from the underlying RunResult (OK unless a faultlab plan
+  /// failed an allocation or the deadline watchdog fired).
+  Status status;
   uint64_t cycles = 0;
   QueryOutput out;
   int workers = 0;

@@ -18,6 +18,17 @@ std::string PerfReport::ToString() const {
      << " page_migrations=" << system.page_migrations
      << " thp_collapses=" << system.thp_collapses
      << " bytes_mapped_peak=" << system.bytes_mapped_peak;
+  // Degradation counters only appear when faultlab actually degraded the
+  // run, keeping no-fault reports (and anything diffing them) unchanged.
+  if (system.pages_spilled != 0 || system.oom_last_resort_pages != 0 ||
+      system.offline_redirects != 0 || system.alloc_failures_injected != 0 ||
+      system.migration_failures_injected != 0) {
+    os << " pages_spilled=" << system.pages_spilled
+       << " oom_last_resort_pages=" << system.oom_last_resort_pages
+       << " offline_redirects=" << system.offline_redirects
+       << " alloc_failures_injected=" << system.alloc_failures_injected
+       << " migration_failures_injected=" << system.migration_failures_injected;
+  }
   return os.str();
 }
 

@@ -63,6 +63,13 @@ struct SystemCounters {
   uint64_t bytes_mapped = 0;          ///< OS memory handed to allocators
   uint64_t bytes_mapped_peak = 0;
   uint64_t balancer_migrations = 0;   ///< load-balancer thread moves
+
+  // faultlab degradation counters (all zero in a no-fault run).
+  uint64_t pages_spilled = 0;          ///< binds redirected off a full node
+  uint64_t oom_last_resort_pages = 0;  ///< every zone full; bound anyway
+  uint64_t offline_redirects = 0;      ///< binds redirected off offline nodes
+  uint64_t alloc_failures_injected = 0;
+  uint64_t migration_failures_injected = 0;
 };
 
 /// \brief Aggregated result of one simulated run.

@@ -88,6 +88,25 @@ uint64_t Engine::Run() {
     uint64_t next_ready = ready_.empty() ? UINT64_MAX : ready_.top()->clock;
     uint64_t next_event = events_.empty() ? UINT64_MAX : events_.top().when;
 
+    if (deadline_ != 0 && next_ready > deadline_ && next_event > deadline_) {
+      // Watchdog: nothing can run at or before the deadline any more. This
+      // also catches simulated deadlocks (both queues empty) gracefully
+      // when a deadline is armed. Destroy the outstanding frames *here*,
+      // while the allocator and memory system their locals reference are
+      // still alive — ~Engine would run after SimContext has started
+      // tearing those down.
+      deadline_exceeded_ = true;
+      for (auto& t : threads_) {
+        if (t->state != VThreadState::kDone && t->handle) {
+          t->handle.destroy();
+          t->handle = nullptr;
+          t->state = VThreadState::kDone;
+        }
+      }
+      live_ = 0;
+      break;
+    }
+
     if (next_event <= next_ready) {
       if (next_event == UINT64_MAX) {
         // Live threads but nothing ready and no events: a deadlock in the

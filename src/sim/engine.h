@@ -132,9 +132,18 @@ class Engine {
   /// with threads in virtual-time order, but only while live threads remain.
   void ScheduleEvent(uint64_t when, std::function<void()> fn);
 
-  /// Runs until every spawned thread has completed. Returns the makespan:
-  /// the maximum thread clock.
+  /// Runs until every spawned thread has completed, or until every live
+  /// thread's clock has passed the deadline (see SetDeadline). Returns the
+  /// makespan: the maximum thread clock.
   uint64_t Run();
+
+  /// Virtual-cycle watchdog: once the *minimum* live thread clock exceeds
+  /// `cycles`, Run() stops resuming threads, destroys the outstanding
+  /// coroutine frames (while the rest of the simulation is still alive —
+  /// frame locals may reference the allocator), and returns. 0 (the
+  /// default) disables the watchdog.
+  void SetDeadline(uint64_t cycles) { deadline_ = cycles; }
+  bool deadline_exceeded() const { return deadline_exceeded_; }
 
   /// Thread currently executing (only valid inside coroutine bodies /
   /// allocator callbacks reached from them).
@@ -205,6 +214,8 @@ class Engine {
   uint64_t event_seq_ = 0;
   VThread* current_ = nullptr;
   int live_ = 0;
+  uint64_t deadline_ = 0;
+  bool deadline_exceeded_ = false;
   sanity::RaceDetector* race_ = nullptr;
 };
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "src/alloc/allocator.h"
+#include "src/common/status.h"
 #include "src/mem/mem_system.h"
 #include "src/sanity/race_detector.h"
 #include "src/sim/engine.h"
@@ -24,6 +25,10 @@ struct Env {
   sim::VThread* self = nullptr;
   int worker_index = 0;
   int num_workers = 1;
+  /// Run-wide status shared by all workers (points into the SimContext);
+  /// the first failure any worker reports wins. Null in contexts built
+  /// without a SimContext (unit tests) — then failures are simply dropped.
+  Status* run_status = nullptr;
 
   void Read(const void* p, size_t n) { mem->Read(self, p, n); }
   void Write(const void* p, size_t n) { mem->Write(self, p, n); }
@@ -51,6 +56,35 @@ struct Env {
     return p;
   }
   void Free(void* p) { alloc->Free(p); }
+
+  /// Fallible allocation: returns nullptr on (injected or genuine)
+  /// exhaustion after recording an OutOfMemory run status. Workers seeing
+  /// nullptr — or a true Failed() — should wind down cooperatively: stop
+  /// producing, but still arrive at any barriers they share.
+  void* TryAlloc(size_t n) {
+    void* p = alloc->TryAlloc(n);
+    if (p == nullptr) {
+      ReportFailure(Status::OutOfMemory("allocation failed"));
+      return nullptr;
+    }
+    if (sanity::RaceDetector* rd = mem->race()) {
+      rd->OnAlloc(self != nullptr ? self->id : -1,
+                  mem->os()->ToSimAddr(reinterpret_cast<uint64_t>(p)), n,
+                  self != nullptr ? self->clock : 0);
+    }
+    return p;
+  }
+
+  /// True once any worker of this run has reported a failure.
+  bool Failed() const { return run_status != nullptr && !run_status->ok(); }
+
+  /// Records `s` as the run's status; first error wins, later ones are
+  /// dropped (deterministic, since the engine is single-threaded).
+  void ReportFailure(Status s) {
+    if (run_status != nullptr && run_status->ok() && !s.ok()) {
+      *run_status = std::move(s);
+    }
+  }
 
   /// Happens-before hooks for VirtualLock critical sections. VirtualLock is
   /// analytical (no suspension, no engine pointer), so the *user* marks the

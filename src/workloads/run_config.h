@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
+#include "src/faultlab/fault_plan.h"
 #include "src/mem/cost_model.h"
 #include "src/mem/page.h"
 #include "src/osmodel/os_config.h"
@@ -64,10 +66,27 @@ struct RunConfig {
   bool race_detect = false;
 
   mem::CostModel costs;  ///< ablation switches live here
+
+  /// Fault-injection plan (src/faultlab). A default (disabled) plan is
+  /// guaranteed zero-cost: the run takes exactly the code paths — and
+  /// produces bit-identical results — it did before faultlab existed. When
+  /// disabled here, the process-wide GlobalFaultPlan() (the --faultlab
+  /// bench mode) applies instead.
+  faultlab::FaultPlan faults;
+
+  /// Virtual-cycle watchdog: when nonzero and every live thread's clock
+  /// passes this bound, the run is cut short and RunResult::status is
+  /// DeadlineExceeded. 0 disables.
+  uint64_t deadline_cycles = 0;
 };
 
 /// \brief Outcome of one simulated run.
 struct RunResult {
+  /// OK for a clean run; OutOfMemory when a worker hit (injected or real)
+  /// allocation failure and wound down; DeadlineExceeded when the watchdog
+  /// cut the run short. A degraded-but-complete run (spill, offline
+  /// redirects, failed migrations) stays OK — see the counters below.
+  Status status;
   uint64_t cycles = 0;           ///< virtual makespan
   perf::PerfReport report;
   uint64_t requested_peak = 0;   ///< allocator-level peak requested bytes
@@ -76,6 +95,14 @@ struct RunResult {
   uint64_t aux_cycles = 0;       ///< e.g. index build time for W4
   uint64_t races = 0;            ///< racy pairs observed (race_detect runs)
   std::vector<std::string> race_reports;  ///< rendered detector reports
+
+  // Degradation counters (copies of the SystemCounters fields; all zero in
+  // a no-fault run).
+  uint64_t pages_spilled = 0;
+  uint64_t oom_last_resort_pages = 0;
+  uint64_t offline_redirects = 0;
+  uint64_t alloc_failures_injected = 0;
+  uint64_t migration_failures_injected = 0;
 
   double MemoryOverhead() const {
     if (requested_peak == 0) return 0.0;
@@ -92,6 +119,13 @@ struct RunResult {
 /// use RunConfig::race_detect instead, which only fills RunResult.
 bool GlobalRaceDetect();
 void SetGlobalRaceDetect(bool on);
+
+/// Process-wide fault plan, set by the --faultlab bench flag before any run
+/// starts. Applies to every SimContext whose own RunConfig::faults is
+/// disabled. Returns a disabled plan when unset.
+const faultlab::FaultPlan& GlobalFaultPlan();
+void SetGlobalFaultPlan(const faultlab::FaultPlan& plan);
+void ClearGlobalFaultPlan();
 
 }  // namespace workloads
 }  // namespace numalab

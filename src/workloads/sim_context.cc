@@ -9,10 +9,17 @@ namespace workloads {
 
 namespace {
 bool g_race_detect = false;
+faultlab::FaultPlan g_fault_plan;
 }  // namespace
 
 bool GlobalRaceDetect() { return g_race_detect; }
 void SetGlobalRaceDetect(bool on) { g_race_detect = on; }
+
+const faultlab::FaultPlan& GlobalFaultPlan() { return g_fault_plan; }
+void SetGlobalFaultPlan(const faultlab::FaultPlan& plan) {
+  g_fault_plan = plan;
+}
+void ClearGlobalFaultPlan() { g_fault_plan = faultlab::FaultPlan(); }
 
 const char* DatasetName(Dataset d) {
   switch (d) {
@@ -36,6 +43,20 @@ SimContext::SimContext(const RunConfig& config)
   memsys_->os()->SetPolicy(config.policy, config.preferred_node);
   memsys_->SetScalarReference(config.scalar_mem_path);
 
+  // Fault plan: the run's own plan wins; otherwise the process-wide
+  // --faultlab plan. A disabled plan attaches nothing — the no-fault run
+  // takes exactly the pre-faultlab code paths.
+  const faultlab::FaultPlan& plan =
+      config.faults.enabled() ? config.faults : GlobalFaultPlan();
+  if (plan.enabled()) {
+    faults_ = std::make_unique<faultlab::FaultLab>(
+        plan, config.seed, static_cast<uint64_t>(config.run_index), &sys_);
+    memsys_->os()->SetFaultLab(faults_.get());
+    memsys_->ApplyLinkDegradation(plan.degraded_links,
+                                  plan.link_latency_scale);
+  }
+  engine_.SetDeadline(config.deadline_cycles);
+
   // Attach the race detector before any VThread (daemons included) spawns,
   // so every thread gets its fork edge.
   if (config.race_detect || GlobalRaceDetect()) {
@@ -44,7 +65,8 @@ SimContext::SimContext(const RunConfig& config)
     memsys_->SetRaceDetector(race_.get());
   }
 
-  alloc::AllocEnv aenv{&engine_, memsys_->os(), &memsys_->costs()};
+  alloc::AllocEnv aenv{&engine_, memsys_->os(), &memsys_->costs(),
+                       faults_.get()};
   allocator_ = alloc::MakeAllocator(config.allocator, aenv, &machine_);
 
   if (config.thp) {
@@ -68,6 +90,7 @@ void SimContext::SpawnWorkers(const std::function<sim::Task(Env&)>& body) {
     env->alloc = allocator_.get();
     env->worker_index = i;
     env->num_workers = config_.threads;
+    env->run_status = &run_status_;
     Env* raw = env.get();
     envs_.push_back(std::move(env));
 
@@ -87,6 +110,18 @@ void SimContext::Finish(RunResult* result) {
   result->report.system = sys_;
   result->requested_peak = allocator_->stats().requested_peak;
   result->resident_peak = memsys_->os()->resident_peak();
+
+  // Deadline overrides a worker-reported failure: the run did not finish.
+  if (engine_.deadline_exceeded()) {
+    result->status = Status::DeadlineExceeded("virtual-cycle deadline hit");
+  } else {
+    result->status = run_status_;
+  }
+  result->pages_spilled = sys_.pages_spilled;
+  result->oom_last_resort_pages = sys_.oom_last_resort_pages;
+  result->offline_redirects = sys_.offline_redirects;
+  result->alloc_failures_injected = sys_.alloc_failures_injected;
+  result->migration_failures_injected = sys_.migration_failures_injected;
 
   if (race_ != nullptr) {
     result->races = race_->races_observed();

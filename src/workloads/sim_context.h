@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "src/alloc/allocator.h"
+#include "src/faultlab/faultlab.h"
 #include "src/mem/mem_system.h"
 #include "src/osmodel/autonuma.h"
 #include "src/osmodel/thp.h"
@@ -43,6 +44,11 @@ class SimContext {
   /// Non-null iff this run has race detection attached (config.race_detect
   /// or the process-wide --race-detect mode).
   sanity::RaceDetector* race() { return race_.get(); }
+  /// Non-null iff a fault plan (config.faults or the process-wide
+  /// --faultlab mode) is active for this run.
+  faultlab::FaultLab* faults() { return faults_.get(); }
+  /// Run-wide status the workers' Envs report failures into.
+  Status* run_status() { return &run_status_; }
 
   /// Allocates + pretouches an input array as if a single producer thread
   /// on node 0 generated it (see PretouchAsNode).
@@ -61,6 +67,8 @@ class SimContext {
   sim::Engine engine_;
   perf::SystemCounters sys_;
   std::unique_ptr<mem::MemSystem> memsys_;  // must precede sched_
+  // Must outlive the allocator and SimOS, which hold raw pointers to it.
+  std::unique_ptr<faultlab::FaultLab> faults_;  // may be null (default)
   std::unique_ptr<sanity::RaceDetector> race_;  // may be null (default)
   osmodel::ThreadScheduler sched_;
   std::unique_ptr<alloc::SimAllocator> allocator_;
@@ -68,6 +76,7 @@ class SimContext {
   std::unique_ptr<osmodel::ThpDaemon> thp_;
   sim::SimBarrier barrier_;
   std::vector<std::unique_ptr<Env>> envs_;
+  Status run_status_;
 };
 
 }  // namespace workloads

@@ -26,10 +26,13 @@ struct GroupVec {
   uint32_t cap = 0;
 };
 
-void Append(Env& env, GroupVec* v, int64_t x) {
+// Fallible under a faultlab plan: a failed growth allocation drops the
+// value, marks the run failed (env.Failed()), and returns false.
+bool Append(Env& env, GroupVec* v, int64_t x) {
   if (v->size == v->cap) {
     uint32_t new_cap = v->cap == 0 ? 8 : v->cap * 2;
-    auto* nd = static_cast<int64_t*>(env.Alloc(new_cap * sizeof(int64_t)));
+    auto* nd = static_cast<int64_t*>(env.TryAlloc(new_cap * sizeof(int64_t)));
+    if (nd == nullptr) return false;
     if (v->size > 0) {
       env.ReadSpan(v->data, v->size * sizeof(int64_t));
       env.WriteSpan(nd, v->size * sizeof(int64_t));
@@ -42,6 +45,7 @@ void Append(Env& env, GroupVec* v, int64_t x) {
   v->data[v->size] = x;
   env.Write(&v->data[v->size], sizeof(int64_t));
   ++v->size;
+  return true;
 }
 
 struct AggShared {
@@ -63,8 +67,10 @@ sim::Task W1Worker(Env& env, AggShared& shared, W1Table& table) {
 
   // Phase 1: build the shared table, appending every value to its group.
   // The append mutates the shared entry, so it runs inside the stripe's
-  // critical section (UpsertWith), not after it.
-  for (uint64_t i = lo; i < hi; ++i) {
+  // critical section (UpsertWith), not after it. On a reported failure
+  // (injected OOM) the worker stops producing but still arrives at the
+  // barrier so the run winds down instead of deadlocking.
+  for (uint64_t i = lo; i < hi && !env.Failed(); ++i) {
     env.Read(&shared.input[i], sizeof(datagen::Record));
     table.UpsertWith(env, shared.input[i].key, [&](W1Table::Entry* entry) {
       Append(env, &entry->value, shared.input[i].val);
@@ -82,17 +88,19 @@ sim::Task W1Worker(Env& env, AggShared& shared, W1Table& table) {
                      : blo + bper;
   uint64_t checksum = 0;
   uint64_t visited = 0;
-  table.ForEachInBuckets(env, blo, bhi, [&](W1Table::Entry* e) {
-    GroupVec& v = e->value;
-    if (v.size == 0) return;
-    env.ReadSpan(v.data, v.size * sizeof(int64_t));
-    // nth_element is O(n) with a non-trivial constant.
-    env.Compute(static_cast<uint64_t>(v.size) * 6);
-    size_t mid = (v.size - 1) / 2;
-    std::nth_element(v.data, v.data + mid, v.data + v.size);
-    checksum += static_cast<uint64_t>(v.data[mid]);
-    ++visited;
-  });
+  if (!env.Failed()) {
+    table.ForEachInBuckets(env, blo, bhi, [&](W1Table::Entry* e) {
+      GroupVec& v = e->value;
+      if (v.size == 0) return;
+      env.ReadSpan(v.data, v.size * sizeof(int64_t));
+      // nth_element is O(n) with a non-trivial constant.
+      env.Compute(static_cast<uint64_t>(v.size) * 6);
+      size_t mid = (v.size - 1) / 2;
+      std::nth_element(v.data, v.data + mid, v.data + v.size);
+      checksum += static_cast<uint64_t>(v.data[mid]);
+      ++visited;
+    });
+  }
   // ForEachInBuckets runs synchronously; yield once afterwards.
   co_await env.Checkpoint();
   shared.checksums[static_cast<size_t>(env.worker_index)] = checksum;
@@ -105,7 +113,7 @@ sim::Task W2Worker(Env& env, AggShared& shared, W2Table& table) {
                     ? shared.n
                     : lo + per;
 
-  for (uint64_t i = lo; i < hi; ++i) {
+  for (uint64_t i = lo; i < hi && !env.Failed(); ++i) {
     env.Read(&shared.input[i], sizeof(datagen::Record));
     table.UpsertWith(env, shared.input[i].key, [&](W2Table::Entry* entry) {
       ++entry->value;
@@ -122,8 +130,10 @@ sim::Task W2Worker(Env& env, AggShared& shared, W2Table& table) {
                      ? buckets
                      : blo + bper;
   uint64_t checksum = 0;
-  table.ForEachInBuckets(env, blo, bhi,
-                         [&](W2Table::Entry* e) { checksum += e->value; });
+  if (!env.Failed()) {
+    table.ForEachInBuckets(env, blo, bhi,
+                           [&](W2Table::Entry* e) { checksum += e->value; });
+  }
   co_await env.Checkpoint();
   shared.checksums[static_cast<size_t>(env.worker_index)] = checksum;
 }
@@ -144,6 +154,7 @@ RunResult RunAggregation(const RunConfig& config, WorkerFn&& worker) {
   setup_env.engine = ctx.engine();
   setup_env.mem = ctx.memsys();
   setup_env.alloc = ctx.allocator();
+  setup_env.run_status = ctx.run_status();
   Table table(setup_env, config.cardinality * 2);
 
   AggShared shared;

@@ -26,10 +26,14 @@ struct OutBuf {
   uint64_t cap = 0;
 };
 
-void Emit(Env& env, OutBuf* out, uint64_t a, uint64_t b, uint64_t c) {
+// Fallible under a faultlab plan: a failed growth allocation drops the
+// match, marks the run failed (env.Failed()), and returns false.
+bool Emit(Env& env, OutBuf* out, uint64_t a, uint64_t b, uint64_t c) {
   if (out->size + 3 > out->cap) {
     uint64_t new_cap = out->cap == 0 ? 1024 : out->cap * 2;
-    auto* nd = static_cast<uint64_t*>(env.Alloc(new_cap * sizeof(uint64_t)));
+    auto* nd =
+        static_cast<uint64_t*>(env.TryAlloc(new_cap * sizeof(uint64_t)));
+    if (nd == nullptr) return false;
     if (out->size > 0) {
       env.ReadSpan(out->data, out->size * sizeof(uint64_t));
       env.WriteSpan(nd, out->size * sizeof(uint64_t));
@@ -44,6 +48,7 @@ void Emit(Env& env, OutBuf* out, uint64_t a, uint64_t b, uint64_t c) {
   out->data[out->size + 2] = c;
   env.Write(&out->data[out->size], 3 * sizeof(uint64_t));
   out->size += 3;
+  return true;
 }
 
 struct JoinShared {
@@ -61,7 +66,7 @@ sim::Task W3Worker(Env& env, JoinShared& shared, JoinTable& table) {
   uint64_t lo = per * static_cast<uint64_t>(env.worker_index);
   uint64_t hi = env.worker_index == env.num_workers - 1 ? shared.build_n
                                                         : lo + per;
-  for (uint64_t i = lo; i < hi; ++i) {
+  for (uint64_t i = lo; i < hi && !env.Failed(); ++i) {
     env.Read(&shared.build[i], sizeof(datagen::JoinTuple));
     table.UpsertWith(env, shared.build[i].key, [&](JoinTable::Entry* e) {
       e->value = shared.build[i].payload;
@@ -77,11 +82,13 @@ sim::Task W3Worker(Env& env, JoinShared& shared, JoinTable& table) {
   hi = env.worker_index == env.num_workers - 1 ? shared.probe_n : lo + per;
   OutBuf out;
   uint64_t found = 0;
-  for (uint64_t i = lo; i < hi; ++i) {
+  for (uint64_t i = lo; i < hi && !env.Failed(); ++i) {
     env.Read(&shared.probe[i], sizeof(datagen::JoinTuple));
     if (auto* e = table.Find(env, shared.probe[i].key)) {
-      Emit(env, &out, shared.probe[i].key, e->value,
-           shared.probe[i].payload);
+      if (!Emit(env, &out, shared.probe[i].key, e->value,
+                shared.probe[i].payload)) {
+        break;
+      }
       ++found;
     }
     co_await env.Checkpoint();
@@ -111,6 +118,7 @@ RunResult RunW3HashJoin(const RunConfig& config) {
   setup_env.engine = ctx.engine();
   setup_env.mem = ctx.memsys();
   setup_env.alloc = ctx.allocator();
+  setup_env.run_status = ctx.run_status();
   JoinTable table(setup_env, config.build_rows * 2);
 
   JoinShared shared;

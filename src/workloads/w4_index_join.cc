@@ -36,10 +36,14 @@ struct W4Out {
   uint64_t cap = 0;
 };
 
-void EmitW4(Env& env, W4Out* out, uint64_t a, uint64_t b, uint64_t c) {
+// Fallible under a faultlab plan: a failed growth allocation drops the
+// match, marks the run failed (env.Failed()), and returns false.
+bool EmitW4(Env& env, W4Out* out, uint64_t a, uint64_t b, uint64_t c) {
   if (out->size + 3 > out->cap) {
     uint64_t new_cap = out->cap == 0 ? 1024 : out->cap * 2;
-    auto* nd = static_cast<uint64_t*>(env.Alloc(new_cap * sizeof(uint64_t)));
+    auto* nd =
+        static_cast<uint64_t*>(env.TryAlloc(new_cap * sizeof(uint64_t)));
+    if (nd == nullptr) return false;
     if (out->size > 0) {
       env.ReadSpan(out->data, out->size * sizeof(uint64_t));
       env.WriteSpan(nd, out->size * sizeof(uint64_t));
@@ -54,6 +58,7 @@ void EmitW4(Env& env, W4Out* out, uint64_t a, uint64_t b, uint64_t c) {
   out->data[out->size + 2] = c;
   env.Write(&out->data[out->size], 3 * sizeof(uint64_t));
   out->size += 3;
+  return true;
 }
 
 sim::Task W4Builder(Env& env, W4Shared& shared) {
@@ -78,12 +83,14 @@ sim::Task W4Prober(Env& env, W4Shared& shared) {
 
   W4Out out;
   uint64_t found = 0;
-  for (uint64_t i = lo; i < hi; ++i) {
+  for (uint64_t i = lo; i < hi && !env.Failed(); ++i) {
     env.Read(&shared.probe[i], sizeof(datagen::JoinTuple));
     uint64_t payload = 0;
     if (shared.index->Lookup(env, shared.probe[i].key, &payload)) {
-      EmitW4(env, &out, shared.probe[i].key, payload,
-             shared.probe[i].payload);
+      if (!EmitW4(env, &out, shared.probe[i].key, payload,
+                  shared.probe[i].payload)) {
+        break;
+      }
       ++found;
     }
     co_await env.Checkpoint();
