@@ -11,12 +11,13 @@
 #include <vector>
 
 #include "src/faultlab/faultlab.h"
+#include "src/trace/export.h"
 #include "src/workloads/run_config.h"
 
 namespace numalab {
 namespace bench {
 
-/// Flag names this binary has declared via FlagU64; consulted by
+/// Flag names this binary has declared via FlagU64/FlagStr; consulted by
 /// ValidateFlags to reject misspelled flags instead of silently ignoring
 /// them.
 inline std::vector<std::string>& KnownFlags() {
@@ -24,11 +25,22 @@ inline std::vector<std::string>& KnownFlags() {
   return flags;
 }
 
+/// Idempotent flag registration: parsing the same flag twice (helpers are
+/// free to re-scan argv) must not list it twice in --help / FlagError
+/// output or hide a genuine duplicate declaration.
+inline void RegisterFlag(const char* name) {
+  for (const auto& f : KnownFlags()) {
+    if (f == name) return;
+  }
+  KnownFlags().push_back(name);
+}
+
 [[noreturn]] inline void FlagError(const std::string& msg) {
   std::fprintf(stderr, "error: %s\n", msg.c_str());
   if (!KnownFlags().empty()) {
     std::fprintf(stderr, "known flags:");
-    for (const auto& f : KnownFlags()) std::fprintf(stderr, " --%s=N", f.c_str());
+    for (const auto& f : KnownFlags())
+      std::fprintf(stderr, " --%s=...", f.c_str());
     std::fprintf(stderr, "\n");
   } else {
     std::fprintf(stderr, "this bench takes no flags\n");
@@ -42,7 +54,7 @@ inline std::vector<std::string>& KnownFlags() {
 /// misspelled flags are rejected too.
 inline uint64_t FlagU64(int argc, char** argv, const char* name,
                         uint64_t def) {
-  KnownFlags().push_back(name);
+  RegisterFlag(name);
   std::string prefix = std::string("--") + name + "=";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
@@ -65,11 +77,37 @@ inline uint64_t FlagU64(int argc, char** argv, const char* name,
   return def;
 }
 
+/// Parses --name=value string flags (e.g. --json-out=PATH); returns the
+/// default when absent. Any value, including the empty string, is accepted.
+inline std::string FlagStr(int argc, char** argv, const char* name,
+                           const std::string& def) {
+  RegisterFlag(name);
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return def;
+}
+
 /// Rejects any argument that is not a declared --flag=value. Call once in
-/// main, after every FlagU64 call has registered its name.
+/// main, after every FlagU64/FlagStr call has registered its name.
+/// `--help` is accepted: it prints the declared flags and exits 0.
 inline void ValidateFlags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0) {
+      std::printf("usage: %s [--flag=value ...]\n", argv[0]);
+      if (!KnownFlags().empty()) {
+        std::printf("known flags:");
+        for (const auto& f : KnownFlags()) std::printf(" --%s=...", f.c_str());
+        std::printf("\n");
+      } else {
+        std::printf("this bench takes no flags\n");
+      }
+      std::exit(0);
+    }
     const char* eq = std::strchr(arg, '=');
     if (std::strncmp(arg, "--", 2) != 0 || eq == nullptr) {
       FlagError(std::string(arg) + ": expected --flag=value");
@@ -108,6 +146,71 @@ inline void ParseFaultlabFlag(int argc, char** argv) {
   if (FlagU64(argc, argv, "faultlab", 0) != 0) {
     workloads::SetGlobalFaultPlan(faultlab::MemoryPressurePlan());
   }
+}
+
+namespace internal {
+/// Output paths + bench label for the exit-time structured export.
+struct TraceOut {
+  std::string bench;
+  std::string json_path;
+  std::string trace_path;
+};
+inline TraceOut& TraceOutState() {
+  static TraceOut state;
+  return state;
+}
+
+inline void WriteOrDie(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    std::_Exit(3);
+  }
+  if (std::fwrite(body.data(), 1, body.size(), f) != body.size() ||
+      std::fclose(f) != 0) {
+    std::fprintf(stderr, "error: failed writing %s\n", path.c_str());
+    std::_Exit(3);
+  }
+}
+
+/// atexit hook: serialize every collected run. Registered only when an
+/// output path was given, so plain runs pay nothing at exit.
+inline void WriteTraceOutputs() {
+  const TraceOut& st = TraceOutState();
+  if (!st.json_path.empty()) {
+    WriteOrDie(st.json_path,
+               trace::BenchJson(st.bench, trace::CollectedRuns()));
+  }
+  if (!st.trace_path.empty()) {
+    WriteOrDie(st.trace_path,
+               trace::ChromeTraceJson(trace::CollectedRuns()));
+  }
+}
+}  // namespace internal
+
+/// Declares and applies the structured-export flags every bench accepts:
+///   --json-out=PATH   write one schema-versioned JSON document (config,
+///                     status, PerfReport, LAR, degradation counters and
+///                     the phase-span tree of every simulated run) at exit
+///   --trace-out=PATH  write the same runs as Chrome trace events
+///                     (chrome://tracing / Perfetto) at exit
+/// Either flag enables the process-wide run collector (trace::CollectRun),
+/// which also attaches the span recorder to every SimContext. Collection is
+/// pure bookkeeping: stdout and simulated results are byte-identical with
+/// or without it.
+inline void ParseTraceFlags(int argc, char** argv) {
+  internal::TraceOut& st = internal::TraceOutState();
+  st.json_path = FlagStr(argc, argv, "json-out", "");
+  st.trace_path = FlagStr(argc, argv, "trace-out", "");
+  if (st.json_path.empty() && st.trace_path.empty()) return;
+  const char* slash = std::strrchr(argv[0], '/');
+  st.bench = slash != nullptr ? slash + 1 : argv[0];
+  trace::SetCollectEnabled(true);
+  // Touch the collector's static storage *before* registering the atexit
+  // writer: function-local statics are destroyed in reverse construction
+  // order, so constructing it here guarantees it outlives the writer.
+  trace::CollectedRuns();
+  std::atexit(&internal::WriteTraceOutputs);
 }
 
 /// The paper's "modified OS configuration": Sparse affinity, AutoNUMA and

@@ -39,6 +39,7 @@ topology::Machine SncMachine() {
 int main(int argc, char** argv) {
   numalab::bench::ParseRaceDetectFlag(argc, argv);
   numalab::bench::ParseFaultlabFlag(argc, argv);
+  numalab::bench::ParseTraceFlags(argc, argv);
   numalab::bench::ValidateFlags(argc, argv);
   topology::Machine snc = SncMachine();
   topology::RegisterMachine(snc);

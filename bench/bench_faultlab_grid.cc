@@ -42,6 +42,7 @@ RunResult RunCell(const std::string& workload, const RunConfig& config) {
 int main(int argc, char** argv) {
   numalab::bench::ParseRaceDetectFlag(argc, argv);
   numalab::bench::ParseFaultlabFlag(argc, argv);
+  numalab::bench::ParseTraceFlags(argc, argv);
   uint64_t cap_mib = numalab::bench::FlagU64(argc, argv, "node-cap-mib", 16);
   numalab::bench::ValidateFlags(argc, argv);
 

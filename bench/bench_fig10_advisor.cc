@@ -11,6 +11,7 @@ using namespace numalab::advisor;
 int main(int argc, char** argv) {
   numalab::bench::ParseRaceDetectFlag(argc, argv);
   numalab::bench::ParseFaultlabFlag(argc, argv);
+  numalab::bench::ParseTraceFlags(argc, argv);
   numalab::bench::ValidateFlags(argc, argv);
   std::printf("Figure 10: decision flowchart traces\n\n");
 

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
       argc, argv, "ops", 60'000);  // default scaled from the paper's 100M ops/thread
   numalab::bench::ParseRaceDetectFlag(argc, argv);
   numalab::bench::ParseFaultlabFlag(argc, argv);
+  numalab::bench::ParseTraceFlags(argc, argv);
   numalab::bench::ValidateFlags(argc, argv);
   const auto& allocators = numalab::alloc::AllAllocatorNames();
 

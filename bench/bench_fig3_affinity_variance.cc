@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   uint64_t card = FlagU64(argc, argv, "card", 100'000);
   numalab::bench::ParseRaceDetectFlag(argc, argv);
   numalab::bench::ParseFaultlabFlag(argc, argv);
+  numalab::bench::ParseTraceFlags(argc, argv);
   numalab::bench::ValidateFlags(argc, argv);
 
   // Both configurations run in the out-of-the-box OS environment (AutoNUMA

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   uint64_t card = FlagU64(argc, argv, "card", 200'000);
   numalab::bench::ParseRaceDetectFlag(argc, argv);
   numalab::bench::ParseFaultlabFlag(argc, argv);
+  numalab::bench::ParseTraceFlags(argc, argv);
   numalab::bench::ValidateFlags(argc, argv);
 
   std::printf("Figure 4: W1, Machine A — Dense vs Sparse affinity "

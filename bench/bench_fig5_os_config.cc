@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   uint64_t card = FlagU64(argc, argv, "card", 200'000);
   numalab::bench::ParseRaceDetectFlag(argc, argv);
   numalab::bench::ParseFaultlabFlag(argc, argv);
+  numalab::bench::ParseTraceFlags(argc, argv);
   numalab::bench::ValidateFlags(argc, argv);
 
   // --- Fig 5a + 5b ---

@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   uint64_t probe = FlagU64(argc, argv, "probe", 2'400'000);
   numalab::bench::ParseRaceDetectFlag(argc, argv);
   numalab::bench::ParseFaultlabFlag(argc, argv);
+  numalab::bench::ParseTraceFlags(argc, argv);
   numalab::bench::ValidateFlags(argc, argv);
 
   RunConfig agg = TunedBase("A", 16);

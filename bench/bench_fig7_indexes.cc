@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   uint64_t probe = FlagU64(argc, argv, "probe", 1'600'000);
   numalab::bench::ParseRaceDetectFlag(argc, argv);
   numalab::bench::ParseFaultlabFlag(argc, argv);
+  numalab::bench::ParseTraceFlags(argc, argv);
   numalab::bench::ValidateFlags(argc, argv);
 
   struct Best {

@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   numalab::bench::ParseRaceDetectFlag(argc, argv);
   numalab::bench::ParseFaultlabFlag(argc, argv);
+  numalab::bench::ParseTraceFlags(argc, argv);
   numalab::bench::ValidateFlags(argc, argv);
   for (const char* name : {"A", "B", "C"}) {
     numalab::topology::Machine m = numalab::topology::MachineByName(name);

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   uint64_t card = FlagU64(argc, argv, "card", 100'000);
   numalab::bench::ParseRaceDetectFlag(argc, argv);
   numalab::bench::ParseFaultlabFlag(argc, argv);
+  numalab::bench::ParseTraceFlags(argc, argv);
   numalab::bench::ValidateFlags(argc, argv);
 
   RunConfig mod_cfg = TunedBase("A", 16);

@@ -18,13 +18,24 @@
 #   BENCH_TIMEOUT_SECS=N   per-bench watchdog via timeout(1); a bench that
 #                          exceeds it is killed and reported as timed out
 #                          (default: 600, 0 disables)
+#   JSON_OUT_DIR=<dir>     pass --json-out=<dir>/<bench>.json to every bench
+#                          and merge the per-bench documents into
+#                          <dir>/BENCH_results.json after the run. Export is
+#                          pure bookkeeping: stdout stays byte-identical to
+#                          a run without it (notices go to stderr).
 set -u
 build_dir=${BUILD_DIR:-build}
 timeout_secs=${BENCH_TIMEOUT_SECS:-600}
+json_dir=${JSON_OUT_DIR:-}
 extra_args=()
 if [[ ${RACE_DETECT:-0} != 0 ]]; then
   extra_args+=(--race-detect=1)
   echo "run_benches.sh: race detection enabled (--race-detect=1)"
+fi
+if [[ -n $json_dir ]]; then
+  mkdir -p "$json_dir" || exit 1
+  echo "run_benches.sh: structured export enabled; merged document:" \
+       "$json_dir/BENCH_results.json" >&2
 fi
 benches=(bench_machines bench_fig2_alloc_micro bench_fig3_affinity_variance
          bench_fig4_sparse_dense bench_table3_profile bench_fig5_os_config
@@ -37,10 +48,18 @@ if [[ ${FAULTLAB:-0} != 0 ]]; then
   echo "run_benches.sh: fault injection enabled (--faultlab=1)"
 fi
 # timeout(1) wrapper; falls back to no watchdog if coreutils timeout is
-# missing or the watchdog is disabled.
+# missing or the watchdog is disabled. The fallback is loud: silently
+# dropping the watchdog makes a hung bench in a minimal container look
+# like a hung script.
 wrapper=()
-if [[ $timeout_secs != 0 ]] && command -v timeout >/dev/null 2>&1; then
-  wrapper=(timeout "$timeout_secs")
+if [[ $timeout_secs != 0 ]]; then
+  if command -v timeout >/dev/null 2>&1; then
+    wrapper=(timeout "$timeout_secs")
+  else
+    echo "run_benches.sh: NOTICE: coreutils timeout(1) not found on PATH;" \
+         "running WITHOUT the ${timeout_secs}s per-bench watchdog —" \
+         "a hung bench will hang this script" >&2
+  fi
 fi
 failed=()
 timed_out=()
@@ -56,8 +75,12 @@ for b in "${benches[@]}"; do
     echo
     continue
   fi
+  bench_args=(${extra_args[@]+"${extra_args[@]}"})
+  if [[ -n $json_dir ]]; then
+    bench_args+=("--json-out=$json_dir/$b.json")
+  fi
   ${wrapper[@]+"${wrapper[@]}"} ./"$build_dir"/bench/"$b" \
-      ${extra_args[@]+"${extra_args[@]}"}
+      ${bench_args[@]+"${bench_args[@]}"}
   rc=$?
   if [[ $rc -eq 124 && ${#wrapper[@]} -gt 0 ]]; then
     echo "run_benches.sh: FAIL: $b timed out after ${timeout_secs}s" >&2
@@ -71,6 +94,23 @@ for b in "${benches[@]}"; do
   fi
   echo
 done
+if [[ -n $json_dir ]]; then
+  # Merge the per-bench documents into one BENCH_results.json. Pure shell
+  # (no python dependency here); iteration order is the fixed bench list,
+  # so two same-seed runs produce byte-identical merged documents.
+  {
+    printf '{"schema_version":1,"benches":[\n'
+    first=1
+    for b in "${benches[@]}"; do
+      f=$json_dir/$b.json
+      [[ -f $f ]] || continue
+      if [[ $first -eq 0 ]]; then printf ',\n'; fi
+      first=0
+      cat "$f"
+    done
+    printf ']}\n'
+  } > "$json_dir/BENCH_results.json"
+fi
 if [[ ${#timed_out[@]} -gt 0 ]]; then
   echo "run_benches.sh: ${#timed_out[@]} bench(es) timed out (>${timeout_secs}s): ${timed_out[*]}" >&2
 fi

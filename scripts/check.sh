@@ -6,9 +6,14 @@
 #   3. clang-tidy build (skipped with a notice if clang-tidy is not on PATH)
 #   4. race-detector clean pass over the whole bench suite (RACE_DETECT=1)
 #   5. no-fault bench stdout must be byte-identical to the committed golden
-#      (bench/golden/run_benches.stdout) — the faultlab zero-cost contract
+#      (bench/golden/run_benches.stdout) — the faultlab zero-cost contract.
+#      Runs with JSON_OUT_DIR set, so it also proves the structured export
+#      leaves stdout untouched.
 #   6. fault-injection pass: the whole bench suite plus the faultlab grid
 #      under the canned memory-pressure plan (FAULTLAB=1) must exit 0
+#   7. structured-export gate: schema-validate the per-bench JSON and the
+#      merged BENCH_results.json from stage 5, then re-run the suite and
+#      assert the two same-seed merged documents are byte-identical
 #
 # Exits non-zero on the first failing stage. Build trees are kept under
 # build-check-* so they never collide with a developer's ./build.
@@ -25,18 +30,18 @@ run() {
   fi
 }
 
-echo "==== stage 1/6: plain build + ctest ===="
+echo "==== stage 1/7: plain build + ctest ===="
 run cmake -B build-check -S . -G Ninja
 run cmake --build build-check
 run ctest --test-dir build-check --output-on-failure
 
-echo "==== stage 2/6: address,undefined sanitizers + ctest ===="
+echo "==== stage 2/7: address,undefined sanitizers + ctest ===="
 run cmake -B build-check-asan -S . -G Ninja \
     -DNUMALAB_SANITIZE=address,undefined
 run cmake --build build-check-asan
 run ctest --test-dir build-check-asan --output-on-failure
 
-echo "==== stage 3/6: clang-tidy build ===="
+echo "==== stage 3/7: clang-tidy build ===="
 if command -v clang-tidy >/dev/null 2>&1; then
   run cmake -B build-check-tidy -S . -G Ninja -DNUMALAB_CLANG_TIDY=ON
   run cmake --build build-check-tidy
@@ -46,17 +51,18 @@ else
        "full gate."
 fi
 
-echo "==== stage 4/6: race-detector clean bench run ===="
+echo "==== stage 4/7: race-detector clean bench run ===="
 # Reuses the plain stage-1 build; every bench runs with --race-detect=1 and
 # any report makes the binary (and therefore run_benches.sh) exit non-zero.
 run env BUILD_DIR=build-check RACE_DETECT=1 ./run_benches.sh
 
-echo "==== stage 5/6: no-fault bench stdout vs committed golden ===="
+echo "==== stage 5/7: no-fault bench stdout vs committed golden ===="
 # The faultlab zero-cost contract: with no fault plan installed, the whole
 # bench suite must produce byte-identical stdout to the committed golden.
 # Any drift means the no-fault path changed behaviour.
-echo "check.sh: env BUILD_DIR=build-check ./run_benches.sh > build-check/run_benches.stdout"
-env BUILD_DIR=build-check ./run_benches.sh > build-check/run_benches.stdout
+echo "check.sh: env BUILD_DIR=build-check JSON_OUT_DIR=build-check/json-a ./run_benches.sh > build-check/run_benches.stdout"
+env BUILD_DIR=build-check JSON_OUT_DIR=build-check/json-a \
+    ./run_benches.sh > build-check/run_benches.stdout
 rc=$?
 if [[ $rc -ne 0 ]]; then
   echo "check.sh: FAIL (exit $rc): no-fault bench run" >&2
@@ -64,10 +70,26 @@ if [[ $rc -ne 0 ]]; then
 fi
 run cmp bench/golden/run_benches.stdout build-check/run_benches.stdout
 
-echo "==== stage 6/6: fault-injection bench run (FAULTLAB=1) ===="
+echo "==== stage 6/7: fault-injection bench run (FAULTLAB=1) ===="
 # Every bench plus the faultlab pressure grid runs under the canned
 # per-node memory-pressure plan; every cell must degrade gracefully
 # (spill, not crash) and the suite must exit 0.
 run env BUILD_DIR=build-check FAULTLAB=1 ./run_benches.sh
+
+echo "==== stage 7/7: structured-export schema + determinism ===="
+# Schema-validate everything stage 5 exported, then run the suite a second
+# time: same seeds, so the merged JSON must be byte-identical — the export
+# determinism contract (no wall time, no pointers, no hash order).
+if command -v python3 >/dev/null 2>&1; then
+  run python3 scripts/validate_bench_json.py \
+      build-check/json-a/BENCH_results.json build-check/json-a/bench_*.json
+else
+  echo "check.sh: NOTICE: python3 not found on PATH; skipping JSON schema" \
+       "validation (determinism diff still runs)."
+fi
+run env BUILD_DIR=build-check JSON_OUT_DIR=build-check/json-b \
+    ./run_benches.sh > /dev/null
+run cmp build-check/json-a/BENCH_results.json \
+    build-check/json-b/BENCH_results.json
 
 echo "check.sh: all stages passed"

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Schema validator for numalab structured bench exports.
+
+Validates either a per-bench document (``--json-out`` output) or the merged
+``BENCH_results.json`` produced by ``JSON_OUT_DIR=<dir> ./run_benches.sh``.
+Schema version 1 — keep in lockstep with src/trace/export.{h,cc}.
+
+Usage: validate_bench_json.py FILE [FILE ...]
+Exits non-zero with a path-qualified message on the first violation.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+COUNTER_KEYS = {
+    "cycles", "thread_migrations", "mem_accesses", "private_hits",
+    "llc_hits", "llc_misses", "local_dram", "remote_dram", "tlb_hits",
+    "tlb_misses", "hinting_faults", "alloc_calls", "free_calls",
+    "alloc_cycles", "lock_wait_cycles", "queue_delay_cycles",
+}
+CONFIG_KEYS = {
+    "machine", "threads", "affinity", "policy", "preferred_node",
+    "allocator", "autonuma", "thp", "dataset", "num_records", "cardinality",
+    "build_rows", "probe_rows", "seed", "run_index", "quantum",
+    "scalar_mem_path", "deadline_cycles",
+}
+SYSTEM_KEYS = {
+    "page_migrations", "thp_collapses", "thp_splits", "pages_mapped",
+    "bytes_mapped", "bytes_mapped_peak", "balancer_migrations",
+}
+DEGRADATION_KEYS = {
+    "pages_spilled", "oom_last_resort_pages", "offline_redirects",
+    "alloc_failures_injected", "migration_failures_injected",
+}
+RUN_KEYS = {
+    "id", "workload", "config", "status", "cycles", "aux_cycles",
+    "checksum", "lar", "requested_peak", "resident_peak", "races",
+    "counters", "system", "degradation", "threads", "nodes", "spans",
+}
+SPAN_KEYS = {"name", "thread", "node", "depth", "parent", "start", "end",
+             "counters"}
+
+
+class Invalid(Exception):
+    pass
+
+
+def require(cond, where, msg):
+    if not cond:
+        raise Invalid(f"{where}: {msg}")
+
+
+def check_keys(obj, keys, where):
+    require(isinstance(obj, dict), where, "expected an object")
+    missing = keys - obj.keys()
+    require(not missing, where, f"missing keys: {sorted(missing)}")
+    extra = obj.keys() - keys
+    require(not extra, where, f"unknown keys: {sorted(extra)}")
+
+
+def check_counters(obj, where):
+    check_keys(obj, COUNTER_KEYS, where)
+    for k, v in obj.items():
+        require(isinstance(v, int) and v >= 0, f"{where}.{k}",
+                "expected a non-negative integer")
+
+
+def check_run(run, where):
+    check_keys(run, RUN_KEYS, where)
+    check_keys(run["config"], CONFIG_KEYS, f"{where}.config")
+    check_counters(run["counters"], f"{where}.counters")
+    check_keys(run["system"], SYSTEM_KEYS, f"{where}.system")
+    check_keys(run["degradation"], DEGRADATION_KEYS, f"{where}.degradation")
+    require(isinstance(run["status"], str) and run["status"],
+            f"{where}.status", "expected a non-empty string")
+    require(0.0 <= run["lar"] <= 1.0, f"{where}.lar", "LAR out of [0, 1]")
+
+    for i, t in enumerate(run["threads"]):
+        tw = f"{where}.threads[{i}]"
+        check_keys(t, {"id", "name", "node", "counters"}, tw)
+        check_counters(t["counters"], f"{tw}.counters")
+    for i, n in enumerate(run["nodes"]):
+        nw = f"{where}.nodes[{i}]"
+        check_keys(n, {"node", "counters"}, nw)
+        check_counters(n["counters"], f"{nw}.counters")
+
+    spans = run["spans"]
+    for i, s in enumerate(spans):
+        sw = f"{where}.spans[{i}]"
+        check_keys(s, SPAN_KEYS, sw)
+        check_counters(s["counters"], f"{sw}.counters")
+        require(s["end"] >= s["start"], sw, "span ends before it starts")
+        require(-1 <= s["parent"] < i, sw,
+                "parent must precede the span (or be -1)")
+        if s["parent"] == -1:
+            require(s["depth"] == 0, sw, "top-level span with depth != 0")
+        else:
+            p = spans[s["parent"]]
+            require(s["depth"] == p["depth"] + 1, sw,
+                    "depth != parent depth + 1")
+            require(p["thread"] == s["thread"], sw,
+                    "parent span on a different thread")
+            require(p["start"] <= s["start"] and s["end"] <= p["end"], sw,
+                    "span not nested inside its parent")
+
+    # Per-node rollup must sum to the run-total counters when the run
+    # recorded spans (top-level spans cover entire worker bodies).
+    if any(s["parent"] == -1 for s in spans):
+        for key in COUNTER_KEYS:
+            total = sum(n["counters"][key] for n in run["nodes"])
+            require(total == run["counters"][key], f"{where}.nodes",
+                    f"per-node {key} sums to {total}, "
+                    f"run total is {run['counters'][key]}")
+
+
+def check_bench(doc, where):
+    check_keys(doc, {"schema_version", "bench", "runs"}, where)
+    require(doc["schema_version"] == SCHEMA_VERSION, where,
+            f"schema_version {doc['schema_version']} != {SCHEMA_VERSION}")
+    require(isinstance(doc["bench"], str) and doc["bench"], where,
+            "bench: expected a non-empty string")
+    for i, run in enumerate(doc["runs"]):
+        check_run(run, f"{where}.runs[{i}]")
+
+
+def check_file(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if "benches" in doc:  # merged document
+        check_keys(doc, {"schema_version", "benches"}, path)
+        require(doc["schema_version"] == SCHEMA_VERSION, path,
+                f"schema_version {doc['schema_version']} != {SCHEMA_VERSION}")
+        names = set()
+        for i, bench in enumerate(doc["benches"]):
+            check_bench(bench, f"{path}.benches[{i}]")
+            require(bench["bench"] not in names, f"{path}.benches[{i}]",
+                    f"duplicate bench {bench['bench']!r}")
+            names.add(bench["bench"])
+        return sum(len(b["runs"]) for b in doc["benches"])
+    check_bench(doc, path)
+    return len(doc["runs"])
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            runs = check_file(path)
+        except (Invalid, json.JSONDecodeError, OSError, KeyError,
+                TypeError) as e:
+            print(f"validate_bench_json: FAIL: {path}: {e}", file=sys.stderr)
+            return 1
+        print(f"validate_bench_json: OK: {path} ({runs} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -28,12 +28,17 @@ inline double StdDev(const std::vector<double>& xs) {
   return std::sqrt(s / static_cast<double>(xs.size()));
 }
 
-/// p-th percentile (0..100) with linear interpolation. Copies and sorts.
+/// p-th percentile with linear interpolation. Copies and sorts. `p` is
+/// clamped to [0, 100]: out-of-range ranks used to index past the end of
+/// the sorted copy (p > 100) or wrap through a negative-to-size_t cast
+/// (p < 0); a NaN p is treated as 0.
 inline double Percentile(std::vector<double> xs, double p) {
   if (xs.empty()) return 0.0;
+  if (!(p > 0.0)) p = 0.0;  // also catches NaN
+  if (p > 100.0) p = 100.0;
   std::sort(xs.begin(), xs.end());
   double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
-  size_t lo = static_cast<size_t>(rank);
+  size_t lo = std::min(static_cast<size_t>(rank), xs.size() - 1);
   size_t hi = std::min(lo + 1, xs.size() - 1);
   double frac = rank - static_cast<double>(lo);
   return xs[lo] + frac * (xs[hi] - xs[lo]);

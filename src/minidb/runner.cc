@@ -1,6 +1,8 @@
 #include "src/minidb/runner.h"
 
 #include "src/minidb/tpch_gen.h"
+#include "src/trace/export.h"
+#include "src/trace/trace.h"
 #include "src/workloads/sim_context.h"
 
 namespace numalab {
@@ -19,9 +21,14 @@ sim::Task QueryWorker(Env& env, const QueryPlan& cold, const QueryPlan& warm,
                       uint64_t* warm_start, const SystemProfile& prof,
                       sim::SimBarrier& barrier) {
   QCtx q{&env, &prof};
+  trace::ScopedSpan worker_span(env.self, "worker");
   for (int pass = 0; pass < 2; ++pass) {
     const QueryPlan& plan = pass == 0 ? cold : warm;
-    for (const Phase& phase : plan.phases) {
+    trace::ScopedSpan pass_span(env.self, pass == 0 ? "cold" : "warm");
+    for (size_t pi = 0; pi < plan.phases.size(); ++pi) {
+      const Phase& phase = plan.phases[pi];
+      std::string phase_name = "phase" + std::to_string(pi);
+      trace::ScopedSpan phase_span(env.self, phase_name.c_str());
       if (phase.rows == 0) {
         if (env.worker_index == 0) phase.body(q, 0, 0);
       } else {
@@ -90,6 +97,10 @@ TpchResult RunTpch(const TpchOptions& options) {
 
   workloads::RunResult r;
   ctx.Finish(&r);
+  trace::CollectRun("W5-q" + std::to_string(options.query) + "-" +
+                        options.profile +
+                        (options.tuned ? "-tuned" : "-default"),
+                    cfg, r);
 
   TpchResult out;
   out.status = r.status;

@@ -52,6 +52,29 @@ struct ThreadCounters {
     lock_wait_cycles += o.lock_wait_cycles;
     queue_delay_cycles += o.queue_delay_cycles;
   }
+
+  /// Componentwise difference against an earlier snapshot of the same
+  /// monotonically increasing counter set (span deltas, src/trace).
+  ThreadCounters Minus(const ThreadCounters& o) const {
+    ThreadCounters d;
+    d.cycles = cycles - o.cycles;
+    d.thread_migrations = thread_migrations - o.thread_migrations;
+    d.mem_accesses = mem_accesses - o.mem_accesses;
+    d.private_hits = private_hits - o.private_hits;
+    d.llc_hits = llc_hits - o.llc_hits;
+    d.llc_misses = llc_misses - o.llc_misses;
+    d.local_dram = local_dram - o.local_dram;
+    d.remote_dram = remote_dram - o.remote_dram;
+    d.tlb_hits = tlb_hits - o.tlb_hits;
+    d.tlb_misses = tlb_misses - o.tlb_misses;
+    d.hinting_faults = hinting_faults - o.hinting_faults;
+    d.alloc_calls = alloc_calls - o.alloc_calls;
+    d.free_calls = free_calls - o.free_calls;
+    d.alloc_cycles = alloc_cycles - o.alloc_cycles;
+    d.lock_wait_cycles = lock_wait_cycles - o.lock_wait_cycles;
+    d.queue_delay_cycles = queue_delay_cycles - o.queue_delay_cycles;
+    return d;
+  }
 };
 
 /// \brief System-wide counters maintained by the OS/memory models.

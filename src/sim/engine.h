@@ -46,6 +46,9 @@ namespace numalab {
 namespace sanity {
 class RaceDetector;
 }  // namespace sanity
+namespace trace {
+class TraceRecorder;
+}  // namespace trace
 namespace sim {
 
 class Engine;
@@ -184,6 +187,14 @@ class Engine {
   void SetRaceDetector(sanity::RaceDetector* rd) { race_ = rd; }
   sanity::RaceDetector* race() const { return race_; }
 
+  /// Optional span recorder (src/trace). Workload code opens spans through
+  /// trace::ScopedSpan, which is a no-op (one null check) when this is
+  /// unset — the zero-cost-off contract of the observability layer. The
+  /// recorder is pure bookkeeping: it never charges cycles, so attaching it
+  /// cannot perturb simulated results.
+  void SetTraceRecorder(trace::TraceRecorder* tr) { trace_ = tr; }
+  trace::TraceRecorder* trace_recorder() const { return trace_; }
+
  private:
   friend struct CheckpointAwaiter;
 
@@ -217,6 +228,7 @@ class Engine {
   uint64_t deadline_ = 0;
   bool deadline_exceeded_ = false;
   sanity::RaceDetector* race_ = nullptr;
+  trace::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace sim

@@ -1,0 +1,59 @@
+// Plain-data span records — the per-phase observability model (DESIGN.md
+// section 10).
+//
+// A *span* is a named virtual-time interval inside one simulated thread:
+// the workload phases the paper reasons about (build, probe, aggregate...)
+// plus a root "worker" span per thread. Each span carries the delta of its
+// thread's ThreadCounters between entry and exit, so per-phase/per-node
+// counter breakdowns survive aggregation instead of being flattened into
+// the run-total PerfReport. This header is dependency-light on purpose:
+// RunResult embeds a RunTrace, so it must not pull in the engine.
+
+#ifndef NUMALAB_TRACE_SPAN_H_
+#define NUMALAB_TRACE_SPAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/perf/counters.h"
+
+namespace numalab {
+namespace trace {
+
+/// \brief One closed span. Records are ordered by Begin time (engine
+/// resume order), which is deterministic; `parent` indexes into the same
+/// vector (-1 for a top-level span). `delta` is inclusive of child spans.
+struct SpanRecord {
+  std::string name;        ///< phase name ("worker", "build", "probe", ...)
+  int thread_id = -1;      ///< VThread id
+  int node = -1;           ///< NUMA node the thread was placed on at Begin
+  int depth = 0;           ///< nesting depth, 0 = top-level
+  int64_t parent = -1;     ///< index of the enclosing span record, or -1
+  uint64_t start_cycle = 0;
+  uint64_t end_cycle = 0;
+  perf::ThreadCounters delta;  ///< counter deltas over [start, end]
+};
+
+/// \brief Per-thread totals at the end of a run (what AggregateCounters
+/// flattens away): final placement plus the thread's full counter set.
+struct ThreadSummary {
+  int thread_id = -1;
+  std::string name;
+  int node = -1;  ///< node of the thread's final hw placement
+  perf::ThreadCounters counters;
+};
+
+/// \brief Everything the recorder captured for one run. Empty (two empty
+/// vectors) when tracing was off — RunResult carries one unconditionally.
+struct RunTrace {
+  std::vector<SpanRecord> spans;
+  std::vector<ThreadSummary> threads;
+
+  bool empty() const { return spans.empty() && threads.empty(); }
+};
+
+}  // namespace trace
+}  // namespace numalab
+
+#endif  // NUMALAB_TRACE_SPAN_H_

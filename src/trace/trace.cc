@@ -1,0 +1,39 @@
+#include "src/trace/trace.h"
+
+#include "src/common/logging.h"
+
+namespace numalab {
+namespace trace {
+
+void TraceRecorder::Begin(sim::VThread* vt, const char* name) {
+  size_t tid = static_cast<size_t>(vt->id);
+  if (open_.size() <= tid) open_.resize(tid + 1);
+  auto& stack = open_[tid];
+
+  SpanRecord rec;
+  rec.name = name;
+  rec.thread_id = vt->id;
+  rec.node = machine_->NodeOfHwThread(vt->hw_thread);
+  rec.depth = static_cast<int>(stack.size());
+  rec.parent =
+      stack.empty() ? -1 : static_cast<int64_t>(stack.back().index);
+  rec.start_cycle = vt->clock;
+  rec.end_cycle = vt->clock;  // finalized by End()
+
+  stack.push_back(OpenSpan{records_.size(), vt->counters});
+  records_.push_back(std::move(rec));
+}
+
+void TraceRecorder::End(sim::VThread* vt) {
+  size_t tid = static_cast<size_t>(vt->id);
+  NUMALAB_CHECK(tid < open_.size() && !open_[tid].empty());
+  OpenSpan top = open_[tid].back();
+  open_[tid].pop_back();
+
+  SpanRecord& rec = records_[top.index];
+  rec.end_cycle = vt->clock;
+  rec.delta = vt->counters.Minus(top.snapshot);
+}
+
+}  // namespace trace
+}  // namespace numalab

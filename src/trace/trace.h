@@ -1,0 +1,94 @@
+// TraceRecorder — per-phase virtual-time span recording for simulated
+// threads (DESIGN.md section 10).
+//
+// Workload code marks phases with a ScopedSpan:
+//
+//   sim::Task W3Worker(Env& env, ...) {
+//     trace::ScopedSpan worker(env.self, "worker");   // root span
+//     {
+//       trace::ScopedSpan s(env.self, "build");
+//       ... build ...
+//     }
+//     ...
+//   }
+//
+// When no recorder is attached to the engine (the default), ScopedSpan is
+// a null check and nothing else. When attached, Begin snapshots the
+// thread's ThreadCounters and End stores the delta, so every span knows
+// exactly how many accesses / misses / DRAM hops / allocator cycles its
+// phase cost — per thread and per node, not just run-total. The recorder
+// never charges virtual time: attaching it cannot change simulated
+// results, which is what lets the JSON export run under the byte-identical
+// golden-stdout gate.
+
+#ifndef NUMALAB_TRACE_TRACE_H_
+#define NUMALAB_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/topology/machine.h"
+#include "src/trace/span.h"
+
+namespace numalab {
+namespace trace {
+
+class TraceRecorder {
+ public:
+  /// \param machine used to resolve a thread's hw placement to its NUMA
+  ///        node at span Begin (per-node attribution of the span's delta).
+  explicit TraceRecorder(const topology::Machine* machine)
+      : machine_(machine) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void Begin(sim::VThread* vt, const char* name);
+  void End(sim::VThread* vt);
+
+  /// Closed spans in Begin order. Spans whose coroutine frame was destroyed
+  /// early (deadline watchdog) are closed by ~ScopedSpan during frame
+  /// destruction, so they still appear with their last observed clock.
+  const std::vector<SpanRecord>& records() const { return records_; }
+
+ private:
+  struct OpenSpan {
+    size_t index;                 ///< into records_
+    perf::ThreadCounters snapshot;
+  };
+
+  const topology::Machine* machine_;
+  std::vector<SpanRecord> records_;
+  // Per-thread stack of open spans, indexed by VThread id. Thread ids are
+  // small and dense (allocation order), so a vector-of-stacks keeps End()
+  // O(1) with no hashing.
+  std::vector<std::vector<OpenSpan>> open_;
+};
+
+/// RAII span marker. Safe to construct with a null thread (setup Envs have
+/// no VThread) and with no recorder attached — both degrade to a no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan(sim::VThread* vt, const char* name) : vt_(vt) {
+    rec_ = vt != nullptr && vt->engine != nullptr
+               ? vt->engine->trace_recorder()
+               : nullptr;
+    if (rec_ != nullptr) rec_->Begin(vt_, name);
+  }
+  ~ScopedSpan() {
+    if (rec_ != nullptr) rec_->End(vt_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  sim::VThread* vt_;
+  TraceRecorder* rec_;
+};
+
+}  // namespace trace
+}  // namespace numalab
+
+#endif  // NUMALAB_TRACE_TRACE_H_

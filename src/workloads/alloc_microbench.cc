@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/trace/export.h"
+#include "src/trace/trace.h"
 #include "src/workloads/sim_context.h"
 
 namespace numalab {
@@ -29,6 +31,7 @@ struct MicroShared {
 };
 
 sim::Task MicroWorker(Env& env, MicroShared& shared) {
+  trace::ScopedSpan worker_span(env.self, "worker");
   Rng rng(shared.seed + 0x1234 +
           static_cast<uint64_t>(env.worker_index) * 77);
   // Bounded pool of live blocks per thread.
@@ -36,30 +39,33 @@ sim::Task MicroWorker(Env& env, MicroShared& shared) {
   std::vector<std::pair<void*, uint64_t>> live;
   live.reserve(kLiveCap);
 
-  for (uint64_t op = 0; op < shared.ops; ++op) {
-    // Alloc-biased until the working set is built, then oscillate around
-    // it — the paper's "allocate and write, or read and deallocate" mix
-    // holds a substantial live heap per thread.
-    double p_alloc = live.size() < kLiveCap * 9 / 10 ? 0.75 : 0.45;
-    bool do_alloc =
-        live.empty() || (live.size() < kLiveCap && rng.Bernoulli(p_alloc));
-    if (do_alloc) {
-      uint64_t sz = DrawSize(&rng);
-      void* p = env.Alloc(sz);
-      // Touch the block (first touch; the paper's microbenchmark is
-      // allocator-bound, so one line of payload traffic per op).
-      env.Write(p, std::min<uint64_t>(sz, 64));
-      live.emplace_back(p, sz);
-    } else {
-      size_t i = rng.Uniform(live.size());
-      env.Read(live[i].first, std::min<uint64_t>(live[i].second, 64));
-      env.Free(live[i].first);
-      live[i] = live.back();
-      live.pop_back();
+  {
+    trace::ScopedSpan mix_span(env.self, "alloc-mix");
+    for (uint64_t op = 0; op < shared.ops; ++op) {
+      // Alloc-biased until the working set is built, then oscillate around
+      // it — the paper's "allocate and write, or read and deallocate" mix
+      // holds a substantial live heap per thread.
+      double p_alloc = live.size() < kLiveCap * 9 / 10 ? 0.75 : 0.45;
+      bool do_alloc =
+          live.empty() || (live.size() < kLiveCap && rng.Bernoulli(p_alloc));
+      if (do_alloc) {
+        uint64_t sz = DrawSize(&rng);
+        void* p = env.Alloc(sz);
+        // Touch the block (first touch; the paper's microbenchmark is
+        // allocator-bound, so one line of payload traffic per op).
+        env.Write(p, std::min<uint64_t>(sz, 64));
+        live.emplace_back(p, sz);
+      } else {
+        size_t i = rng.Uniform(live.size());
+        env.Read(live[i].first, std::min<uint64_t>(live[i].second, 64));
+        env.Free(live[i].first);
+        live[i] = live.back();
+        live.pop_back();
+      }
+      co_await env.Checkpoint();
     }
-    co_await env.Checkpoint();
   }
-  // Drain.
+  trace::ScopedSpan drain_span(env.self, "teardown");
   for (auto& [p, sz] : live) {
     env.Free(p);
     co_await env.Checkpoint();
@@ -90,6 +96,7 @@ MicrobenchResult RunAllocMicrobench(const std::string& allocator,
 
   RunResult r;
   ctx.Finish(&r);
+  trace::CollectRun("alloc-micro-" + allocator, cfg, r);
 
   MicrobenchResult out;
   out.cycles = r.cycles;

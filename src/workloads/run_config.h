@@ -14,6 +14,7 @@
 #include "src/mem/page.h"
 #include "src/osmodel/os_config.h"
 #include "src/perf/counters.h"
+#include "src/trace/span.h"
 
 namespace numalab {
 namespace workloads {
@@ -59,6 +60,14 @@ struct RunConfig {
   /// both implementations bit-for-bit (see MemSystem::SetScalarReference).
   bool scalar_mem_path = false;
 
+  /// Attach the numalab::trace span recorder to this run: workload phase
+  /// spans and per-thread counter summaries land in RunResult::trace.
+  /// Recording is pure bookkeeping (no virtual-time charges), so results
+  /// are unaffected. The process-wide collector enabled by the --json-out /
+  /// --trace-out bench flags (see trace::CollectEnabled) attaches the
+  /// recorder to every run regardless of this flag.
+  bool trace = false;
+
   /// Attach the numalab::sanity happens-before race detector to this run.
   /// Reports land in RunResult::race_reports; simulated results are
   /// unaffected (the detector is pure bookkeeping). See also
@@ -95,6 +104,11 @@ struct RunResult {
   uint64_t aux_cycles = 0;       ///< e.g. index build time for W4
   uint64_t races = 0;            ///< racy pairs observed (race_detect runs)
   std::vector<std::string> race_reports;  ///< rendered detector reports
+
+  /// Phase spans and per-thread counter summaries (empty unless the run
+  /// had a trace recorder attached — RunConfig::trace or --json-out /
+  /// --trace-out collection).
+  trace::RunTrace trace;
 
   // Degradation counters (copies of the SystemCounters fields; all zero in
   // a no-fault run).

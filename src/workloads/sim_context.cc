@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/trace/export.h"
+
 namespace numalab {
 namespace workloads {
 
@@ -56,6 +58,14 @@ SimContext::SimContext(const RunConfig& config)
                                   plan.link_latency_scale);
   }
   engine_.SetDeadline(config.deadline_cycles);
+
+  // Attach the span recorder before any worker spawns. Recording is pure
+  // bookkeeping (no virtual-time charges), so results are bit-identical
+  // with or without it.
+  if (config.trace || trace::CollectEnabled()) {
+    trace_ = std::make_unique<trace::TraceRecorder>(&machine_);
+    engine_.SetTraceRecorder(trace_.get());
+  }
 
   // Attach the race detector before any VThread (daemons included) spawns,
   // so every thread gets its fork edge.
@@ -117,6 +127,18 @@ void SimContext::Finish(RunResult* result) {
   } else {
     result->status = run_status_;
   }
+  if (trace_ != nullptr) {
+    result->trace.spans = trace_->records();
+    for (const auto& t : engine_.threads()) {
+      trace::ThreadSummary ts;
+      ts.thread_id = t->id;
+      ts.name = t->name;
+      ts.node = machine_.NodeOfHwThread(t->hw_thread);
+      ts.counters = t->counters;
+      result->trace.threads.push_back(std::move(ts));
+    }
+  }
+
   result->pages_spilled = sys_.pages_spilled;
   result->oom_last_resort_pages = sys_.oom_last_resort_pages;
   result->offline_redirects = sys_.offline_redirects;

@@ -16,6 +16,7 @@
 #include "src/osmodel/thread_sched.h"
 #include "src/sim/engine.h"
 #include "src/sim/sync.h"
+#include "src/trace/trace.h"
 #include "src/workloads/env.h"
 #include "src/workloads/run_config.h"
 
@@ -44,6 +45,9 @@ class SimContext {
   /// Non-null iff this run has race detection attached (config.race_detect
   /// or the process-wide --race-detect mode).
   sanity::RaceDetector* race() { return race_.get(); }
+  /// Non-null iff this run records phase spans (config.trace or the
+  /// process-wide --json-out / --trace-out collection mode).
+  trace::TraceRecorder* trace_recorder() { return trace_.get(); }
   /// Non-null iff a fault plan (config.faults or the process-wide
   /// --faultlab mode) is active for this run.
   faultlab::FaultLab* faults() { return faults_.get(); }
@@ -64,6 +68,9 @@ class SimContext {
  private:
   RunConfig config_;
   topology::Machine machine_;
+  // Must outlive engine_: ~Engine destroys outstanding coroutine frames,
+  // whose ScopedSpan locals call back into the recorder.
+  std::unique_ptr<trace::TraceRecorder> trace_;  // may be null (default)
   sim::Engine engine_;
   perf::SystemCounters sys_;
   std::unique_ptr<mem::MemSystem> memsys_;  // must precede sched_

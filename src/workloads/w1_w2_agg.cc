@@ -11,6 +11,8 @@
 #include "src/common/logging.h"
 #include "src/datagen/datagen.h"
 #include "src/index/hash_table.h"
+#include "src/trace/export.h"
+#include "src/trace/trace.h"
 #include "src/workloads/sim_context.h"
 #include "src/workloads/workloads.h"
 
@@ -59,6 +61,7 @@ using W1Table = index::ConcurrentHashTable<GroupVec>;
 using W2Table = index::ConcurrentHashTable<uint64_t>;
 
 sim::Task W1Worker(Env& env, AggShared& shared, W1Table& table) {
+  trace::ScopedSpan worker_span(env.self, "worker");
   uint64_t per = shared.n / static_cast<uint64_t>(env.num_workers);
   uint64_t lo = per * static_cast<uint64_t>(env.worker_index);
   uint64_t hi = env.worker_index == env.num_workers - 1
@@ -70,16 +73,20 @@ sim::Task W1Worker(Env& env, AggShared& shared, W1Table& table) {
   // critical section (UpsertWith), not after it. On a reported failure
   // (injected OOM) the worker stops producing but still arrives at the
   // barrier so the run winds down instead of deadlocking.
-  for (uint64_t i = lo; i < hi && !env.Failed(); ++i) {
-    env.Read(&shared.input[i], sizeof(datagen::Record));
-    table.UpsertWith(env, shared.input[i].key, [&](W1Table::Entry* entry) {
-      Append(env, &entry->value, shared.input[i].val);
-    });
-    co_await env.Checkpoint();
+  {
+    trace::ScopedSpan build_span(env.self, "build");
+    for (uint64_t i = lo; i < hi && !env.Failed(); ++i) {
+      env.Read(&shared.input[i], sizeof(datagen::Record));
+      table.UpsertWith(env, shared.input[i].key, [&](W1Table::Entry* entry) {
+        Append(env, &entry->value, shared.input[i].val);
+      });
+      co_await env.Checkpoint();
+    }
+    co_await shared.ctx->barrier()->Arrive();
   }
-  co_await shared.ctx->barrier()->Arrive();
 
   // Phase 2: compute MEDIAN per group; groups partitioned by bucket range.
+  trace::ScopedSpan agg_span(env.self, "aggregate");
   uint64_t buckets = table.nbuckets();
   uint64_t bper = buckets / static_cast<uint64_t>(env.num_workers);
   uint64_t blo = bper * static_cast<uint64_t>(env.worker_index);
@@ -107,22 +114,27 @@ sim::Task W1Worker(Env& env, AggShared& shared, W1Table& table) {
 }
 
 sim::Task W2Worker(Env& env, AggShared& shared, W2Table& table) {
+  trace::ScopedSpan worker_span(env.self, "worker");
   uint64_t per = shared.n / static_cast<uint64_t>(env.num_workers);
   uint64_t lo = per * static_cast<uint64_t>(env.worker_index);
   uint64_t hi = env.worker_index == env.num_workers - 1
                     ? shared.n
                     : lo + per;
 
-  for (uint64_t i = lo; i < hi && !env.Failed(); ++i) {
-    env.Read(&shared.input[i], sizeof(datagen::Record));
-    table.UpsertWith(env, shared.input[i].key, [&](W2Table::Entry* entry) {
-      ++entry->value;
-      env.Write(&entry->value, sizeof(uint64_t));
-    });
-    co_await env.Checkpoint();
+  {
+    trace::ScopedSpan build_span(env.self, "build");
+    for (uint64_t i = lo; i < hi && !env.Failed(); ++i) {
+      env.Read(&shared.input[i], sizeof(datagen::Record));
+      table.UpsertWith(env, shared.input[i].key, [&](W2Table::Entry* entry) {
+        ++entry->value;
+        env.Write(&entry->value, sizeof(uint64_t));
+      });
+      co_await env.Checkpoint();
+    }
+    co_await shared.ctx->barrier()->Arrive();
   }
-  co_await shared.ctx->barrier()->Arrive();
 
+  trace::ScopedSpan agg_span(env.self, "aggregate");
   uint64_t buckets = table.nbuckets();
   uint64_t bper = buckets / static_cast<uint64_t>(env.num_workers);
   uint64_t blo = bper * static_cast<uint64_t>(env.worker_index);
@@ -175,17 +187,21 @@ RunResult RunAggregation(const RunConfig& config, WorkerFn&& worker) {
 }  // namespace
 
 RunResult RunW1HolisticAggregation(const RunConfig& config) {
-  return RunAggregation<W1Table>(
+  RunResult r = RunAggregation<W1Table>(
       config, [](Env& env, AggShared& shared, W1Table& table) {
         return W1Worker(env, shared, table);
       });
+  trace::CollectRun("W1", config, r);
+  return r;
 }
 
 RunResult RunW2DistributiveAggregation(const RunConfig& config) {
-  return RunAggregation<W2Table>(
+  RunResult r = RunAggregation<W2Table>(
       config, [](Env& env, AggShared& shared, W2Table& table) {
         return W2Worker(env, shared, table);
       });
+  trace::CollectRun("W2", config, r);
+  return r;
 }
 
 }  // namespace workloads

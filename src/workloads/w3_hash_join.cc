@@ -11,6 +11,8 @@
 
 #include "src/datagen/datagen.h"
 #include "src/index/hash_table.h"
+#include "src/trace/export.h"
+#include "src/trace/trace.h"
 #include "src/workloads/sim_context.h"
 #include "src/workloads/workloads.h"
 
@@ -61,22 +63,27 @@ struct JoinShared {
 };
 
 sim::Task W3Worker(Env& env, JoinShared& shared, JoinTable& table) {
+  trace::ScopedSpan worker_span(env.self, "worker");
   // Build phase over the small relation.
   uint64_t per = shared.build_n / static_cast<uint64_t>(env.num_workers);
   uint64_t lo = per * static_cast<uint64_t>(env.worker_index);
   uint64_t hi = env.worker_index == env.num_workers - 1 ? shared.build_n
                                                         : lo + per;
-  for (uint64_t i = lo; i < hi && !env.Failed(); ++i) {
-    env.Read(&shared.build[i], sizeof(datagen::JoinTuple));
-    table.UpsertWith(env, shared.build[i].key, [&](JoinTable::Entry* e) {
-      e->value = shared.build[i].payload;
-      env.Write(&e->value, sizeof(uint64_t));
-    });
-    co_await env.Checkpoint();
+  {
+    trace::ScopedSpan build_span(env.self, "build");
+    for (uint64_t i = lo; i < hi && !env.Failed(); ++i) {
+      env.Read(&shared.build[i], sizeof(datagen::JoinTuple));
+      table.UpsertWith(env, shared.build[i].key, [&](JoinTable::Entry* e) {
+        e->value = shared.build[i].payload;
+        env.Write(&e->value, sizeof(uint64_t));
+      });
+      co_await env.Checkpoint();
+    }
+    co_await shared.ctx->barrier()->Arrive();
   }
-  co_await shared.ctx->barrier()->Arrive();
 
   // Probe phase over the large relation.
+  trace::ScopedSpan probe_span(env.self, "probe");
   per = shared.probe_n / static_cast<uint64_t>(env.num_workers);
   lo = per * static_cast<uint64_t>(env.worker_index);
   hi = env.worker_index == env.num_workers - 1 ? shared.probe_n : lo + per;
@@ -135,6 +142,7 @@ RunResult RunW3HashJoin(const RunConfig& config) {
   RunResult result;
   ctx.Finish(&result);
   for (uint64_t m : shared.matches) result.checksum += m;
+  trace::CollectRun("W3", config, result);
   return result;
 }
 

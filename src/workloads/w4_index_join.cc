@@ -11,6 +11,8 @@
 
 #include "src/datagen/datagen.h"
 #include "src/index/index.h"
+#include "src/trace/export.h"
+#include "src/trace/trace.h"
 #include "src/workloads/sim_context.h"
 #include "src/workloads/workloads.h"
 
@@ -62,18 +64,25 @@ bool EmitW4(Env& env, W4Out* out, uint64_t a, uint64_t b, uint64_t c) {
 }
 
 sim::Task W4Builder(Env& env, W4Shared& shared) {
-  for (uint64_t i = 0; i < shared.build_n; ++i) {
-    env.Read(&shared.build[i], sizeof(datagen::JoinTuple));
-    shared.index->Insert(env, shared.build[i].key, shared.build[i].payload);
-    co_await env.Checkpoint();
+  trace::ScopedSpan worker_span(env.self, "worker");
+  {
+    trace::ScopedSpan build_span(env.self, "build");
+    for (uint64_t i = 0; i < shared.build_n; ++i) {
+      env.Read(&shared.build[i], sizeof(datagen::JoinTuple));
+      shared.index->Insert(env, shared.build[i].key,
+                           shared.build[i].payload);
+      co_await env.Checkpoint();
+    }
   }
   shared.build_cycles = env.self->clock;
   co_await shared.built->Arrive();
 }
 
 sim::Task W4Prober(Env& env, W4Shared& shared) {
+  trace::ScopedSpan worker_span(env.self, "worker");
   co_await shared.built->Arrive();  // wait for the index
 
+  trace::ScopedSpan probe_span(env.self, "probe");
   // worker_index 0 is the builder; probers are 1..num_workers-1.
   int probers = env.num_workers - 1;
   int me = env.worker_index - 1;
@@ -145,6 +154,7 @@ RunResult RunW4IndexJoin(const RunConfig& config,
                       ? result.cycles - shared.build_cycles
                       : 0;                                // join time
   for (uint64_t m : shared.matches) result.checksum += m;
+  trace::CollectRun("W4-" + index_name, config, result);
   return result;
 }
 

@@ -1,0 +1,85 @@
+// Boundary/degenerate coverage for src/common/stats.h — notably the
+// Percentile out-of-range regression: rank used to index past the end of
+// the sorted copy for p > 100 and wrap through a negative-to-size_t cast
+// for p < 0.
+
+#include "src/common/stats.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace numalab {
+namespace {
+
+TEST(StatsTest, MeanDegenerate) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Mean({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(StatsTest, StdDevDegenerate) {
+  EXPECT_EQ(StdDev({}), 0.0);
+  EXPECT_EQ(StdDev({5.0}), 0.0);  // fewer than two samples
+  EXPECT_DOUBLE_EQ(StdDev({2.0, 2.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0, 3.0}), 1.0);
+}
+
+TEST(PercentileTest, EmptyIsZero) {
+  EXPECT_EQ(Percentile({}, 50.0), 0.0);
+  EXPECT_EQ(Percentile({}, 200.0), 0.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_EQ(Percentile({42.0}, 0.0), 42.0);
+  EXPECT_EQ(Percentile({42.0}, 50.0), 42.0);
+  EXPECT_EQ(Percentile({42.0}, 100.0), 42.0);
+}
+
+TEST(PercentileTest, BoundsAndInterpolation) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_EQ(Percentile(xs, 100.0), 4.0);
+  // rank = 1.5 between the sorted values 2 and 3.
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25.0), 1.75);
+}
+
+// Regression: p > 100 used to compute rank > size-1 and read past the end
+// of the sorted copy; the result was garbage (and an ASan fault). Clamped,
+// it must be exactly the maximum.
+TEST(PercentileTest, OutOfRangeHighClampsToMax) {
+  std::vector<double> xs = {10.0, 30.0, 20.0};
+  EXPECT_EQ(Percentile(xs, 100.0 + 1e-9), 30.0);
+  EXPECT_EQ(Percentile(xs, 150.0), 30.0);
+  EXPECT_EQ(Percentile(xs, 100000.0), 30.0);
+}
+
+// Regression: negative p produced a negative rank whose size_t cast
+// wrapped to a huge index.
+TEST(PercentileTest, OutOfRangeLowClampsToMin) {
+  std::vector<double> xs = {10.0, 30.0, 20.0};
+  EXPECT_EQ(Percentile(xs, -0.001), 10.0);
+  EXPECT_EQ(Percentile(xs, -1000.0), 10.0);
+}
+
+TEST(PercentileTest, NanPTreatedAsZero) {
+  std::vector<double> xs = {10.0, 30.0, 20.0};
+  EXPECT_EQ(Percentile(xs, std::numeric_limits<double>::quiet_NaN()), 10.0);
+}
+
+TEST(MedianInPlaceTest, Degenerate) {
+  std::vector<int64_t> empty;
+  EXPECT_EQ(MedianInPlace(&empty), 0);
+  std::vector<int64_t> one = {9};
+  EXPECT_EQ(MedianInPlace(&one), 9);
+  std::vector<int64_t> odd = {5, 1, 3};
+  EXPECT_EQ(MedianInPlace(&odd), 3);
+  std::vector<int64_t> even = {4, 1, 3, 2};  // lower-middle for even sizes
+  EXPECT_EQ(MedianInPlace(&even), 2);
+}
+
+}  // namespace
+}  // namespace numalab
