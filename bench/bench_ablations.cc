@@ -17,10 +17,7 @@ using numalab::bench::TunedBase;
 using namespace numalab::workloads;
 
 int main(int argc, char** argv) {
-  numalab::bench::ParseRaceDetectFlag(argc, argv);
-  numalab::bench::ParseFaultlabFlag(argc, argv);
-  numalab::bench::ParseTraceFlags(argc, argv);
-  numalab::bench::ValidateFlags(argc, argv);
+  numalab::bench::BenchMain(argc, argv);
   // --- Ablation 1: contention model vs Sparse/Dense ---
   std::printf("Ablation 1: Dense/Sparse ratio (W1, Machine A, 4 threads)\n");
   for (bool contention : {true, false}) {

@@ -213,6 +213,20 @@ inline void ParseTraceFlags(int argc, char** argv) {
   std::atexit(&internal::WriteTraceOutputs);
 }
 
+/// The shared bench entry path: parses the flags every bench accepts
+/// (--race-detect, --faultlab, --json-out, --trace-out) and then rejects
+/// anything undeclared. Call it once at the top of main, AFTER the bench's
+/// own FlagU64/FlagStr calls — flag lookups register their names, and
+/// ValidateFlags (and --help) only knows the flags declared before it runs.
+/// Keeping the four parse calls here instead of in each bench means new
+/// common flags reach every binary at once and --help output cannot drift.
+inline void BenchMain(int argc, char** argv) {
+  ParseRaceDetectFlag(argc, argv);
+  ParseFaultlabFlag(argc, argv);
+  ParseTraceFlags(argc, argv);
+  ValidateFlags(argc, argv);
+}
+
 /// The paper's "modified OS configuration": Sparse affinity, AutoNUMA and
 /// THP off. Policy/allocator are the experiment variables on top.
 inline workloads::RunConfig TunedBase(const std::string& machine,

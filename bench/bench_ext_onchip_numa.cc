@@ -37,10 +37,7 @@ topology::Machine SncMachine() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  numalab::bench::ParseRaceDetectFlag(argc, argv);
-  numalab::bench::ParseFaultlabFlag(argc, argv);
-  numalab::bench::ParseTraceFlags(argc, argv);
-  numalab::bench::ValidateFlags(argc, argv);
+  numalab::bench::BenchMain(argc, argv);
   topology::Machine snc = SncMachine();
   topology::RegisterMachine(snc);
   std::printf("Extension: on-chip NUMA (sub-NUMA clustered CPU)\n\n%s\n",

@@ -40,11 +40,8 @@ RunResult RunCell(const std::string& workload, const RunConfig& config) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  numalab::bench::ParseRaceDetectFlag(argc, argv);
-  numalab::bench::ParseFaultlabFlag(argc, argv);
-  numalab::bench::ParseTraceFlags(argc, argv);
   uint64_t cap_mib = numalab::bench::FlagU64(argc, argv, "node-cap-mib", 16);
-  numalab::bench::ValidateFlags(argc, argv);
+  numalab::bench::BenchMain(argc, argv);
 
   const std::vector<std::string> machines = {"A", "B", "C"};
   const std::vector<std::string> workloads = {"W1", "W2", "W3", "W4"};

@@ -9,10 +9,7 @@ using namespace numalab;
 using namespace numalab::advisor;
 
 int main(int argc, char** argv) {
-  numalab::bench::ParseRaceDetectFlag(argc, argv);
-  numalab::bench::ParseFaultlabFlag(argc, argv);
-  numalab::bench::ParseTraceFlags(argc, argv);
-  numalab::bench::ValidateFlags(argc, argv);
+  numalab::bench::BenchMain(argc, argv);
   std::printf("Figure 10: decision flowchart traces\n\n");
 
   struct Case {

@@ -20,10 +20,7 @@
 int main(int argc, char** argv) {
   uint64_t ops = numalab::bench::FlagU64(
       argc, argv, "ops", 60'000);  // default scaled from the paper's 100M ops/thread
-  numalab::bench::ParseRaceDetectFlag(argc, argv);
-  numalab::bench::ParseFaultlabFlag(argc, argv);
-  numalab::bench::ParseTraceFlags(argc, argv);
-  numalab::bench::ValidateFlags(argc, argv);
+  numalab::bench::BenchMain(argc, argv);
   const auto& allocators = numalab::alloc::AllAllocatorNames();
 
   std::printf("Figure 2a: allocator scalability — Machine A, %llu ops/thread"

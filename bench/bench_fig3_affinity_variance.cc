@@ -16,10 +16,7 @@ using namespace numalab::workloads;
 int main(int argc, char** argv) {
   uint64_t records = FlagU64(argc, argv, "records", 1'000'000);
   uint64_t card = FlagU64(argc, argv, "card", 100'000);
-  numalab::bench::ParseRaceDetectFlag(argc, argv);
-  numalab::bench::ParseFaultlabFlag(argc, argv);
-  numalab::bench::ParseTraceFlags(argc, argv);
-  numalab::bench::ValidateFlags(argc, argv);
+  numalab::bench::BenchMain(argc, argv);
 
   // Both configurations run in the out-of-the-box OS environment (AutoNUMA
   // and THP enabled, ptmalloc, First Touch); only thread affinity differs —

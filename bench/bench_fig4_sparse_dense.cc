@@ -14,10 +14,7 @@ using namespace numalab::workloads;
 int main(int argc, char** argv) {
   uint64_t records = FlagU64(argc, argv, "records", 2'000'000);
   uint64_t card = FlagU64(argc, argv, "card", 200'000);
-  numalab::bench::ParseRaceDetectFlag(argc, argv);
-  numalab::bench::ParseFaultlabFlag(argc, argv);
-  numalab::bench::ParseTraceFlags(argc, argv);
-  numalab::bench::ValidateFlags(argc, argv);
+  numalab::bench::BenchMain(argc, argv);
 
   std::printf("Figure 4: W1, Machine A — Dense vs Sparse affinity "
               "(Gcycles)\n");

@@ -32,10 +32,7 @@ const std::vector<std::pair<const char*, numalab::mem::MemPolicy>> kPolicies =
 int main(int argc, char** argv) {
   uint64_t records = FlagU64(argc, argv, "records", 2'000'000);
   uint64_t card = FlagU64(argc, argv, "card", 200'000);
-  numalab::bench::ParseRaceDetectFlag(argc, argv);
-  numalab::bench::ParseFaultlabFlag(argc, argv);
-  numalab::bench::ParseTraceFlags(argc, argv);
-  numalab::bench::ValidateFlags(argc, argv);
+  numalab::bench::BenchMain(argc, argv);
 
   // --- Fig 5a + 5b ---
   std::printf("Figure 5a/5b: W1, Machine A, 16 threads — AutoNUMA x memory"

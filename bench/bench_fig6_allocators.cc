@@ -62,10 +62,7 @@ int main(int argc, char** argv) {
   uint64_t card = FlagU64(argc, argv, "card", 200'000);
   uint64_t build = FlagU64(argc, argv, "build", 150'000);
   uint64_t probe = FlagU64(argc, argv, "probe", 2'400'000);
-  numalab::bench::ParseRaceDetectFlag(argc, argv);
-  numalab::bench::ParseFaultlabFlag(argc, argv);
-  numalab::bench::ParseTraceFlags(argc, argv);
-  numalab::bench::ValidateFlags(argc, argv);
+  numalab::bench::BenchMain(argc, argv);
 
   RunConfig agg = TunedBase("A", 16);
   agg.num_records = records;

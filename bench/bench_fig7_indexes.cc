@@ -33,10 +33,7 @@ const std::vector<const char*> kAllocs = {"ptmalloc", "jemalloc", "tcmalloc",
 int main(int argc, char** argv) {
   uint64_t build = FlagU64(argc, argv, "build", 100'000);
   uint64_t probe = FlagU64(argc, argv, "probe", 1'600'000);
-  numalab::bench::ParseRaceDetectFlag(argc, argv);
-  numalab::bench::ParseFaultlabFlag(argc, argv);
-  numalab::bench::ParseTraceFlags(argc, argv);
-  numalab::bench::ValidateFlags(argc, argv);
+  numalab::bench::BenchMain(argc, argv);
 
   struct Best {
     double join = 1e300;

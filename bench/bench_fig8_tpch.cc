@@ -21,10 +21,7 @@ using namespace numalab::minidb;
 
 int main(int argc, char** argv) {
   double scale = static_cast<double>(FlagU64(argc, argv, "sf100", 5)) / 100.0;
-  numalab::bench::ParseRaceDetectFlag(argc, argv);
-  numalab::bench::ParseFaultlabFlag(argc, argv);
-  numalab::bench::ParseTraceFlags(argc, argv);
-  numalab::bench::ValidateFlags(argc, argv);
+  numalab::bench::BenchMain(argc, argv);
 
   std::printf("Figure 8: TPC-H Q1-Q22 latency reduction (tuned vs default)"
               " — Machine A, SF=%.2f\n", scale);

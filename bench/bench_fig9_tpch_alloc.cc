@@ -12,10 +12,7 @@ using namespace numalab::minidb;
 
 int main(int argc, char** argv) {
   double scale = static_cast<double>(FlagU64(argc, argv, "sf100", 5)) / 100.0;
-  numalab::bench::ParseRaceDetectFlag(argc, argv);
-  numalab::bench::ParseFaultlabFlag(argc, argv);
-  numalab::bench::ParseTraceFlags(argc, argv);
-  numalab::bench::ValidateFlags(argc, argv);
+  numalab::bench::BenchMain(argc, argv);
 
   std::printf("Figure 9: TPC-H Q5/Q18 latency by allocator — MonetDB-like"
               " profile, Machine A, SF=%.2f (Gcycles)\n", scale);

@@ -9,10 +9,7 @@
 #include "src/topology/machine.h"
 
 int main(int argc, char** argv) {
-  numalab::bench::ParseRaceDetectFlag(argc, argv);
-  numalab::bench::ParseFaultlabFlag(argc, argv);
-  numalab::bench::ParseTraceFlags(argc, argv);
-  numalab::bench::ValidateFlags(argc, argv);
+  numalab::bench::BenchMain(argc, argv);
   for (const char* name : {"A", "B", "C"}) {
     numalab::topology::Machine m = numalab::topology::MachineByName(name);
     std::printf("%s", m.ToString().c_str());

@@ -27,10 +27,7 @@ void Row(const char* metric, double def, double mod, bool ratio = false) {
 int main(int argc, char** argv) {
   uint64_t records = FlagU64(argc, argv, "records", 1'000'000);
   uint64_t card = FlagU64(argc, argv, "card", 100'000);
-  numalab::bench::ParseRaceDetectFlag(argc, argv);
-  numalab::bench::ParseFaultlabFlag(argc, argv);
-  numalab::bench::ParseTraceFlags(argc, argv);
-  numalab::bench::ValidateFlags(argc, argv);
+  numalab::bench::BenchMain(argc, argv);
 
   RunConfig mod_cfg = TunedBase("A", 16);
   mod_cfg.num_records = records;

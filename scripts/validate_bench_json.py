@@ -3,7 +3,8 @@
 
 Validates either a per-bench document (``--json-out`` output) or the merged
 ``BENCH_results.json`` produced by ``JSON_OUT_DIR=<dir> ./run_benches.sh``.
-Schema version 1 — keep in lockstep with src/trace/export.{h,cc}.
+Schema version 2 — keep in lockstep with src/trace/export.{h,cc}.
+v2 adds an optional per-run "serving" section (numalab::serve SLO metrics).
 
 Usage: validate_bench_json.py FILE [FILE ...]
 Exits non-zero with a path-qualified message on the first violation.
@@ -12,7 +13,7 @@ Exits non-zero with a path-qualified message on the first violation.
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 COUNTER_KEYS = {
     "cycles", "thread_migrations", "mem_accesses", "private_hits",
@@ -41,6 +42,16 @@ RUN_KEYS = {
 }
 SPAN_KEYS = {"name", "thread", "node", "depth", "parent", "start", "end",
              "counters"}
+SERVING_KEYS = {
+    "arrival", "requests", "offered", "admitted", "completed", "rejected",
+    "retries", "dropped", "batches", "batched_requests", "max_batch",
+    "max_queue_depth", "makespan_cycles", "cycles_per_query", "latency",
+    "types", "nodes", "hist",
+}
+SERVING_LATENCY_KEYS = {"p50", "p95", "p99", "max"}
+SERVING_TYPE_KEYS = {"type", "completed", "p50", "p95", "p99"}
+SERVING_NODE_KEYS = {"node", "enqueued", "rejected", "redirected_offline",
+                     "max_depth"}
 
 
 class Invalid(Exception):
@@ -67,8 +78,51 @@ def check_counters(obj, where):
                 "expected a non-negative integer")
 
 
+def check_serving(s, where):
+    check_keys(s, SERVING_KEYS, where)
+    check_keys(s["latency"], SERVING_LATENCY_KEYS, f"{where}.latency")
+    for k in ("offered", "admitted", "completed", "rejected", "retries",
+              "dropped", "batches", "batched_requests", "max_batch",
+              "max_queue_depth", "makespan_cycles", "requests"):
+        require(isinstance(s[k], int) and s[k] >= 0, f"{where}.{k}",
+                "expected a non-negative integer")
+    # Accounting invariants of the admission controller: every offered
+    # request is either eventually admitted or dropped after its retry
+    # budget; every admitted request completes (runs drain their queues);
+    # every refused enqueue attempt either scheduled a retry or dropped.
+    require(s["admitted"] + s["dropped"] == s["offered"], where,
+            "admitted + dropped != offered")
+    require(s["completed"] == s["admitted"], where,
+            "completed != admitted (queue not drained)")
+    require(s["rejected"] == s["retries"] + s["dropped"], where,
+            "rejected != retries + dropped")
+    lat = s["latency"]
+    require(lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"], where,
+            "latency percentiles not monotone")
+    for i, t in enumerate(s["types"]):
+        tw = f"{where}.types[{i}]"
+        check_keys(t, SERVING_TYPE_KEYS, tw)
+        require(t["p50"] <= t["p95"] <= t["p99"], tw,
+                "per-type percentiles not monotone")
+    for i, n in enumerate(s["nodes"]):
+        check_keys(n, SERVING_NODE_KEYS, f"{where}.nodes[{i}]")
+    hist_total = 0
+    for i, pair in enumerate(s["hist"]):
+        hw = f"{where}.hist[{i}]"
+        require(isinstance(pair, list) and len(pair) == 2, hw,
+                "expected a [bucket, count] pair")
+        require(pair[1] > 0, hw, "empty bucket exported")
+        hist_total += pair[1]
+    require(hist_total == s["completed"], f"{where}.hist",
+            f"histogram holds {hist_total} samples, "
+            f"completed is {s['completed']}")
+
+
 def check_run(run, where):
-    check_keys(run, RUN_KEYS, where)
+    check_keys(run, RUN_KEYS | {"serving"} if "serving" in run else RUN_KEYS,
+               where)
+    if "serving" in run:
+        check_serving(run["serving"], f"{where}.serving")
     check_keys(run["config"], CONFIG_KEYS, f"{where}.config")
     check_counters(run["counters"], f"{where}.counters")
     check_keys(run["system"], SYSTEM_KEYS, f"{where}.system")

@@ -126,6 +126,12 @@ class MemSystem {
   void SetRaceDetector(sanity::RaceDetector* rd);
   sanity::RaceDetector* race() const { return race_; }
 
+  /// Live view of the run's system counters (the same object RunResult's
+  /// degradation fields are copied from at Finish). Lets mid-run observers
+  /// (e.g. the serving admission controller) react to spill/OOM pressure
+  /// while the run is still executing.
+  const perf::SystemCounters* sys() const { return sys_; }
+
   /// Human-readable placement of a simulated (slab-relative) address:
   /// node, page index and region extent. Safe on wild addresses.
   std::string DescribeSimAddr(uint64_t sim_addr) const;

@@ -193,7 +193,13 @@ void AppendRun(std::string* out, const CollectedRun& run, int id) {
     AppendCounters(out, sp.delta);
     out->append("}");
   }
-  out->append("]}");
+  out->append("]");
+
+  if (!run.serving_json.empty()) {
+    out->append(",\n     \"serving\":");
+    out->append(run.serving_json);
+  }
+  out->append("}");
 }
 
 }  // namespace
@@ -205,7 +211,16 @@ void CollectRun(const std::string& workload,
                 const workloads::RunConfig& config,
                 const workloads::RunResult& result) {
   if (!g_collect) return;
-  MutableRuns().push_back(CollectedRun{workload, config, result});
+  MutableRuns().push_back(CollectedRun{workload, config, result, ""});
+}
+
+void CollectRun(const std::string& workload,
+                const workloads::RunConfig& config,
+                const workloads::RunResult& result,
+                const std::string& serving_json) {
+  if (!g_collect) return;
+  MutableRuns().push_back(CollectedRun{workload, config, result,
+                                       serving_json});
 }
 
 const std::vector<CollectedRun>& CollectedRuns() { return MutableRuns(); }

@@ -29,13 +29,18 @@ namespace trace {
 
 /// Version of the JSON document layout below. Bump on any key change and
 /// update scripts/validate_bench_json.py in the same commit.
-inline constexpr int kJsonSchemaVersion = 1;
+/// v2: optional per-run "serving" section (numalab::serve SLO metrics).
+inline constexpr int kJsonSchemaVersion = 2;
 
 /// \brief One workload run as deposited by CollectRun.
 struct CollectedRun {
   std::string workload;  ///< "W1", "W3", "W4-art", "W5-q1-columnar-vec", ...
   workloads::RunConfig config;
   workloads::RunResult result;
+  /// Pre-serialized JSON object for the run's "serving" key, or empty for
+  /// non-serving runs (the key is omitted). Produced by serve::ServingJson;
+  /// must obey the same determinism contract as the rest of the document.
+  std::string serving_json;
 };
 
 /// Process-wide collection switch. When on, every SimContext attaches a
@@ -49,6 +54,13 @@ void SetCollectEnabled(bool on);
 void CollectRun(const std::string& workload,
                 const workloads::RunConfig& config,
                 const workloads::RunResult& result);
+
+/// As above, with a pre-serialized "serving" JSON object attached to the run
+/// (see CollectedRun::serving_json).
+void CollectRun(const std::string& workload,
+                const workloads::RunConfig& config,
+                const workloads::RunResult& result,
+                const std::string& serving_json);
 
 const std::vector<CollectedRun>& CollectedRuns();
 void ClearCollectedRuns();

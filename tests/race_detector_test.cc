@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/sanity/race_detector.h"
+#include "src/serve/serve.h"
 #include "src/sim/engine.h"
 #include "src/workloads/sim_context.h"
 #include "src/workloads/workloads.h"
@@ -213,6 +214,33 @@ TEST(RaceDetectorSimTest, W3RunsClean) {
   workloads::RunResult r = workloads::RunW3HashJoin(cfg);
   EXPECT_EQ(r.races, 0u) << (r.race_reports.empty() ? ""
                                                     : r.race_reports[0]);
+}
+
+TEST(RaceDetectorSimTest, ServingMixedStreamRunsClean) {
+  // The serving layer hammers ConcurrentHashTable::UpsertWith/UpsertSet
+  // from every worker at once — the striped warmup build plus the mixed
+  // stream's concurrent upserts and lock-free probes — while workers also
+  // contend on the per-node queue locks. All of it must be race-free under
+  // the happens-before detector.
+  workloads::RunConfig cfg;
+  cfg.machine = "A";
+  cfg.threads = 4;
+  cfg.race_detect = true;
+  serve::ServeConfig sc;
+  sc.requests = 300;
+  sc.kv_keys = 1 << 12;
+  sc.probe_build_rows = 1024;
+  sc.mean_gap_cycles = 2'000;  // enough pressure for overlapping batches
+  sc.mix_point = 0.3;
+  sc.mix_range = 0.1;
+  sc.mix_probe = 0.3;
+  sc.mix_upsert = 0.3;  // upsert-heavy: stripe locks do real work
+  sc.mix_tpch = 0;
+  serve::ServeResult r = serve::RunServing(cfg, sc);
+  ASSERT_TRUE(r.run.status.ok()) << r.run.status.ToString();
+  EXPECT_EQ(r.stats.completed, r.stats.admitted);
+  EXPECT_EQ(r.run.races, 0u)
+      << (r.run.race_reports.empty() ? "" : r.run.race_reports[0]);
 }
 
 }  // namespace

@@ -1,0 +1,240 @@
+// Tests for numalab::serve — determinism, admission control, dynamic
+// batching, arrival processes, faultlab interaction and the histogram
+// cross-check (DESIGN.md section 11).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "src/faultlab/fault_plan.h"
+#include "src/serve/serve.h"
+#include "src/workloads/run_config.h"
+
+namespace numalab {
+namespace serve {
+namespace {
+
+using workloads::RunConfig;
+
+/// A small, fast serving experiment: mixed stream minus TPC-H (the minidb
+/// tests own that path; one test below turns it back on).
+ServeConfig SmallConfig() {
+  ServeConfig sc;
+  sc.requests = 400;
+  sc.kv_keys = 1 << 12;
+  sc.probe_build_rows = 1024;
+  sc.mean_gap_cycles = 8'000;
+  sc.mix_tpch = 0;
+  return sc;
+}
+
+RunConfig SmallRun() {
+  RunConfig rc;
+  rc.machine = "A";
+  rc.threads = 4;
+  return rc;
+}
+
+void ExpectAdmissionInvariants(const ServingStats& st, uint64_t requests) {
+  EXPECT_EQ(st.offered, requests);
+  EXPECT_EQ(st.admitted + st.dropped, st.offered);
+  EXPECT_EQ(st.completed, st.admitted);
+  EXPECT_EQ(st.rejected, st.retries + st.dropped);
+  EXPECT_EQ(st.latency.total(), st.completed);
+}
+
+TEST(ServeTest, CompletesMixedStreamAndKeepsInvariants) {
+  ServeResult r = RunServing(SmallRun(), SmallConfig());
+  ASSERT_TRUE(r.run.status.ok()) << r.run.status.ToString();
+  ExpectAdmissionInvariants(r.stats, 400);
+  EXPECT_EQ(r.stats.dropped, 0u);  // uncontended: nothing should shed
+  EXPECT_GT(r.stats.batches, 0u);
+  EXPECT_GT(r.stats.makespan_cycles, 0u);
+  EXPECT_LE(r.stats.p50, r.stats.p95);
+  EXPECT_LE(r.stats.p95, r.stats.p99);
+  EXPECT_LE(r.stats.p99, r.stats.max);
+  // Every request type in the default mix actually completed.
+  for (int t = 0; t < kNumRequestTypes - 1; ++t) {
+    EXPECT_GT(r.stats.types[t].completed, 0u)
+        << RequestTypeName(static_cast<RequestType>(t));
+  }
+}
+
+TEST(ServeTest, SameSeedRunsAreBitIdentical) {
+  RunConfig rc = SmallRun();
+  ServeConfig sc = SmallConfig();
+  ServeResult a = RunServing(rc, sc);
+  ServeResult b = RunServing(rc, sc);
+  ASSERT_TRUE(a.run.status.ok());
+  EXPECT_EQ(a.run.cycles, b.run.cycles);
+  EXPECT_EQ(a.stats.checksum, b.stats.checksum);
+  EXPECT_EQ(ServingJson(sc, a.stats), ServingJson(sc, b.stats));
+}
+
+TEST(ServeTest, DifferentSeedsDiffer) {
+  RunConfig rc = SmallRun();
+  ServeConfig sc = SmallConfig();
+  ServeResult a = RunServing(rc, sc);
+  rc.seed = 1234;
+  ServeResult b = RunServing(rc, sc);
+  EXPECT_NE(ServingJson(sc, a.stats), ServingJson(sc, b.stats));
+}
+
+TEST(ServeTest, EveryArrivalProcessCompletes) {
+  for (Arrival a : {Arrival::kFixed, Arrival::kPoisson, Arrival::kBurst,
+                    Arrival::kClosed}) {
+    ServeConfig sc = SmallConfig();
+    sc.arrival = a;
+    sc.requests = 200;
+    ServeResult r = RunServing(SmallRun(), sc);
+    ASSERT_TRUE(r.run.status.ok()) << ArrivalName(a);
+    ExpectAdmissionInvariants(r.stats, 200);
+    EXPECT_GT(r.stats.completed, 0u) << ArrivalName(a);
+  }
+}
+
+TEST(ServeTest, ArrivalNamesRoundTrip) {
+  for (Arrival a : {Arrival::kFixed, Arrival::kPoisson, Arrival::kBurst,
+                    Arrival::kClosed}) {
+    Arrival parsed;
+    ASSERT_TRUE(ArrivalFromName(ArrivalName(a), &parsed));
+    EXPECT_EQ(parsed, a);
+  }
+  Arrival parsed;
+  EXPECT_FALSE(ArrivalFromName("zipf", &parsed));
+}
+
+TEST(ServeTest, OverloadShedsButBoundsQueuesAndLatency) {
+  ServeConfig sc = SmallConfig();
+  sc.arrival = Arrival::kBurst;       // whole bursts slam the queues
+  sc.burst_size = 128;
+  sc.mean_gap_cycles = 40;            // far beyond service capacity
+  sc.queue_cap = 8;
+  sc.max_retries = 1;
+  sc.retry_backoff_cycles = 2'000;
+  sc.requests = 600;
+  ServeResult r = RunServing(SmallRun(), sc);
+  ASSERT_TRUE(r.run.status.ok());
+  ExpectAdmissionInvariants(r.stats, 600);
+  EXPECT_GT(r.stats.rejected, 0u);
+  EXPECT_GT(r.stats.dropped, 0u);
+  // The bound holds on every queue, globally and per node.
+  EXPECT_LE(r.stats.max_queue_depth, sc.queue_cap);
+  for (const NodeStats& ns : r.stats.nodes) {
+    EXPECT_LE(ns.max_depth, sc.queue_cap);
+  }
+  // Admitted requests still finish with finite tail latency.
+  EXPECT_GT(r.stats.completed, 0u);
+  EXPECT_GT(r.stats.p99, 0u);
+  EXPECT_GE(r.stats.max, r.stats.p99);
+}
+
+TEST(ServeTest, DynamicBatchingBeatsUnbatchedDispatch) {
+  // Point-only stream at high locality, offered well above service
+  // capacity so the makespan is service-bound: the batcher's amortized
+  // dispatch + span coalescing must cut cycles per query.
+  ServeConfig sc = SmallConfig();
+  sc.mix_point = 1;
+  sc.mix_range = sc.mix_probe = sc.mix_upsert = 0;
+  sc.point_locality = 0.9;
+  sc.mean_gap_cycles = 50;
+  sc.requests = 800;
+  sc.queue_cap = 1024;  // isolate batching: no shedding either way
+
+  ServeConfig unbatched = sc;
+  unbatched.batch_max = 1;
+  unbatched.batch_window_cycles = 0;
+
+  ServeResult batched = RunServing(SmallRun(), sc);
+  ServeResult single = RunServing(SmallRun(), unbatched);
+  ASSERT_TRUE(batched.run.status.ok());
+  ASSERT_TRUE(single.run.status.ok());
+  ASSERT_EQ(batched.stats.completed, 800u);
+  ASSERT_EQ(single.stats.completed, 800u);
+  // Identical responses either way: batching is a scheduling choice.
+  EXPECT_EQ(batched.stats.checksum, single.stats.checksum);
+  EXPECT_GT(batched.stats.batched_requests, 0u);
+  EXPECT_GT(batched.stats.max_batch, 1u);
+  EXPECT_EQ(single.stats.max_batch, 1u);
+  EXPECT_LT(batched.stats.CyclesPerQuery(), single.stats.CyclesPerQuery());
+}
+
+TEST(ServeTest, OfflineNodeRedirectsAndStillCompletes) {
+  ServeConfig sc = SmallConfig();
+  sc.requests = 300;
+  RunConfig rc = SmallRun();
+  faultlab::NodeOffline off;
+  off.node = 1;
+  off.at_cycle = 0;  // down before serving opens
+  rc.faults.offline.push_back(off);
+  ServeResult r = RunServing(rc, sc);
+  ASSERT_TRUE(r.run.status.ok()) << r.run.status.ToString();
+  ExpectAdmissionInvariants(r.stats, 300);
+  EXPECT_GT(r.stats.completed, 0u);
+  uint64_t redirected = 0;
+  for (const NodeStats& ns : r.stats.nodes) {
+    redirected += ns.redirected_offline;
+  }
+  EXPECT_GT(redirected, 0u);
+  // Nothing was ever enqueued on the offline node.
+  EXPECT_EQ(r.stats.nodes[1].enqueued, 0u);
+}
+
+TEST(ServeTest, TpchRequestsExecute) {
+  ServeConfig sc = SmallConfig();
+  sc.requests = 60;
+  sc.mix_point = 0.5;
+  sc.mix_tpch = 0.5;
+  sc.mix_range = sc.mix_probe = sc.mix_upsert = 0;
+  sc.tpch_scale = 0.002;
+  sc.tpch_query = 6;
+  ServeResult r = RunServing(SmallRun(), sc);
+  ASSERT_TRUE(r.run.status.ok()) << r.run.status.ToString();
+  ExpectAdmissionInvariants(r.stats, 60);
+  EXPECT_GT(r.stats.types[static_cast<int>(RequestType::kTpch)].completed,
+            0u);
+}
+
+TEST(ServeTest, HistogramAgreesWithExactPercentiles) {
+  ServeResult r = RunServing(SmallRun(), SmallConfig());
+  ASSERT_TRUE(r.run.status.ok());
+  const ServingStats& st = r.stats;
+  ASSERT_EQ(st.latency.total(), st.completed);
+  // The log2 histogram's percentile is the upper edge of the bucket holding
+  // the exact order statistic: at least the exact value, at most one bucket
+  // (2x) above it.
+  struct { double p; uint64_t exact; } cases[] = {
+      {50, st.p50}, {95, st.p95}, {99, st.p99}};
+  for (const auto& c : cases) {
+    double hist = st.latency.Percentile(c.p);
+    EXPECT_GE(hist + 1e-6, static_cast<double>(c.exact)) << c.p;
+    EXPECT_LE(hist, static_cast<double>(std::max<uint64_t>(c.exact, 1)) * 2.0)
+        << c.p;
+  }
+}
+
+TEST(ServeTest, ServingJsonIsWellFormedAndOrdered) {
+  ServeConfig sc = SmallConfig();
+  ServeResult r = RunServing(SmallRun(), sc);
+  ASSERT_TRUE(r.run.status.ok());
+  std::string j = ServingJson(sc, r.stats);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  // Fixed key order, so downstream byte-comparisons are meaningful.
+  const char* keys[] = {"\"arrival\"",  "\"requests\"", "\"offered\"",
+                        "\"admitted\"", "\"completed\"", "\"rejected\"",
+                        "\"retries\"",  "\"dropped\"",  "\"batches\"",
+                        "\"latency\"",  "\"types\"",    "\"nodes\"",
+                        "\"hist\""};
+  size_t pos = 0;
+  for (const char* k : keys) {
+    size_t at = j.find(k, pos);
+    ASSERT_NE(at, std::string::npos) << k;
+    pos = at;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace numalab

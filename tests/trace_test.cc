@@ -231,7 +231,7 @@ const char kC2[] =
 
 TEST(TraceJson, BenchJsonGolden) {
   std::string expected = std::string() +
-      "{\"schema_version\":1,\n"
+      "{\"schema_version\":2,\n"
       " \"bench\":\"golden\",\n"
       " \"runs\":[\n"
       "    {\"id\":0,\"workload\":\"Wx\",\n"
@@ -268,7 +268,7 @@ TEST(TraceJson, BenchJsonGolden) {
 
 TEST(TraceJson, EmptyRunListStillWellFormed) {
   EXPECT_EQ(BenchJson("empty", {}),
-            "{\"schema_version\":1,\n \"bench\":\"empty\",\n \"runs\":[]}\n");
+            "{\"schema_version\":2,\n \"bench\":\"empty\",\n \"runs\":[]}\n");
 }
 
 TEST(TraceJson, StringsAreEscaped) {
@@ -276,6 +276,21 @@ TEST(TraceJson, StringsAreEscaped) {
   run.workload = "W\"x\\y\nz";
   std::string doc = BenchJson("g", {run});
   EXPECT_NE(doc.find("\"workload\":\"W\\\"x\\\\y\\nz\""), std::string::npos);
+}
+
+// Schema v2: a run with serving_json set carries it verbatim under the
+// "serving" key; without it the key is absent (v1 documents stay stable
+// modulo the version bump).
+TEST(TraceJson, ServingSectionAttachedWhenPresent) {
+  CollectedRun plain = GoldenRun();
+  EXPECT_EQ(BenchJson("g", {plain}).find("\"serving\""), std::string::npos);
+
+  CollectedRun serving = GoldenRun();
+  serving.serving_json = "{\"offered\":10,\"completed\":9}";
+  std::string doc = BenchJson("g", {serving});
+  EXPECT_NE(
+      doc.find(",\n     \"serving\":{\"offered\":10,\"completed\":9}}"),
+      std::string::npos);
 }
 
 TEST(TraceJson, ChromeTraceGolden) {
@@ -304,9 +319,9 @@ TEST(TraceJson, SameSeedSameBytesOnBothMemPaths) {
     workloads::RunConfig c = TracedConfig();
     c.scalar_mem_path = scalar;
     std::string a = BenchJson(
-        "b", {CollectedRun{"W3", c, workloads::RunW3HashJoin(c)}});
+        "b", {CollectedRun{"W3", c, workloads::RunW3HashJoin(c), ""}});
     std::string b = BenchJson(
-        "b", {CollectedRun{"W3", c, workloads::RunW3HashJoin(c)}});
+        "b", {CollectedRun{"W3", c, workloads::RunW3HashJoin(c), ""}});
     EXPECT_EQ(a, b) << "scalar=" << scalar;
   }
 }
