@@ -41,7 +41,7 @@ benches=(bench_machines bench_fig2_alloc_micro bench_fig3_affinity_variance
          bench_fig4_sparse_dense bench_table3_profile bench_fig5_os_config
          bench_fig6_allocators bench_fig7_indexes bench_fig8_tpch
          bench_fig9_tpch_alloc bench_fig10_advisor bench_ablations
-         bench_ext_onchip_numa bench_serving)
+         bench_ext_onchip_numa bench_serving bench_placement)
 if [[ ${FAULTLAB:-0} != 0 ]]; then
   extra_args+=(--faultlab=1)
   benches+=(bench_faultlab_grid)
@@ -99,7 +99,7 @@ if [[ -n $json_dir ]]; then
   # (no python dependency here); iteration order is the fixed bench list,
   # so two same-seed runs produce byte-identical merged documents.
   {
-    printf '{"schema_version":2,"benches":[\n'
+    printf '{"schema_version":3,"benches":[\n'
     first=1
     for b in "${benches[@]}"; do
       f=$json_dir/$b.json

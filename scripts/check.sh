@@ -17,6 +17,10 @@
 #   8. serving gate: bench_serving stdout vs its committed golden, its
 #      "serving" JSON sections schema-validated, and two same-seed
 #      --json-out runs byte-identical (serving-layer determinism contract)
+#   9. placement gate: bench_placement stdout vs its committed golden (the
+#      bench itself exits 1 unless the adaptive cell dominates every static
+#      policy and stock AutoNUMA on p99 AND local-access ratio), plus the
+#      same schema + same-seed JSON determinism checks as stage 8
 #
 # Exits non-zero on the first failing stage. Build trees are kept under
 # build-check-* so they never collide with a developer's ./build.
@@ -33,18 +37,18 @@ run() {
   fi
 }
 
-echo "==== stage 1/8: plain build + ctest ===="
+echo "==== stage 1/9: plain build + ctest ===="
 run cmake -B build-check -S . -G Ninja
 run cmake --build build-check
 run ctest --test-dir build-check --output-on-failure
 
-echo "==== stage 2/8: address,undefined sanitizers + ctest ===="
+echo "==== stage 2/9: address,undefined sanitizers + ctest ===="
 run cmake -B build-check-asan -S . -G Ninja \
     -DNUMALAB_SANITIZE=address,undefined
 run cmake --build build-check-asan
 run ctest --test-dir build-check-asan --output-on-failure
 
-echo "==== stage 3/8: clang-tidy build ===="
+echo "==== stage 3/9: clang-tidy build ===="
 if command -v clang-tidy >/dev/null 2>&1; then
   run cmake -B build-check-tidy -S . -G Ninja -DNUMALAB_CLANG_TIDY=ON
   run cmake --build build-check-tidy
@@ -54,12 +58,12 @@ else
        "full gate."
 fi
 
-echo "==== stage 4/8: race-detector clean bench run ===="
+echo "==== stage 4/9: race-detector clean bench run ===="
 # Reuses the plain stage-1 build; every bench runs with --race-detect=1 and
 # any report makes the binary (and therefore run_benches.sh) exit non-zero.
 run env BUILD_DIR=build-check RACE_DETECT=1 ./run_benches.sh
 
-echo "==== stage 5/8: no-fault bench stdout vs committed golden ===="
+echo "==== stage 5/9: no-fault bench stdout vs committed golden ===="
 # The faultlab zero-cost contract: with no fault plan installed, the whole
 # bench suite must produce byte-identical stdout to the committed golden.
 # Any drift means the no-fault path changed behaviour.
@@ -73,13 +77,13 @@ if [[ $rc -ne 0 ]]; then
 fi
 run cmp bench/golden/run_benches.stdout build-check/run_benches.stdout
 
-echo "==== stage 6/8: fault-injection bench run (FAULTLAB=1) ===="
+echo "==== stage 6/9: fault-injection bench run (FAULTLAB=1) ===="
 # Every bench plus the faultlab pressure grid runs under the canned
 # per-node memory-pressure plan; every cell must degrade gracefully
 # (spill, not crash) and the suite must exit 0.
 run env BUILD_DIR=build-check FAULTLAB=1 ./run_benches.sh
 
-echo "==== stage 7/8: structured-export schema + determinism ===="
+echo "==== stage 7/9: structured-export schema + determinism ===="
 # Schema-validate everything stage 5 exported, then run the suite a second
 # time: same seeds, so the merged JSON must be byte-identical — the export
 # determinism contract (no wall time, no pointers, no hash order).
@@ -95,7 +99,7 @@ run env BUILD_DIR=build-check JSON_OUT_DIR=build-check/json-b \
 run cmp build-check/json-a/BENCH_results.json \
     build-check/json-b/BENCH_results.json
 
-echo "==== stage 8/8: serving determinism + schema ===="
+echo "==== stage 8/9: serving determinism + schema ===="
 # The serving layer's own contract: byte-identical stdout vs the committed
 # golden, schema-valid "serving" JSON sections, and two same-seed
 # --json-out runs producing byte-identical documents. (Stage 5 already
@@ -118,5 +122,30 @@ fi
 run ./build-check/bench/bench_serving --json-out=build-check/serving-b.json \
     > /dev/null
 run cmp build-check/serving-a.json build-check/serving-b.json
+
+echo "==== stage 9/9: placement dominance + determinism ===="
+# The adaptive-placement contract: bench_placement's own self-check (exit 1
+# unless placement beats first-touch/interleave/preferred AND stock
+# AutoNUMA on both p99 sojourn and LAR, with replication actually firing),
+# stdout pinned to the committed golden, JSON schema-valid, and two
+# same-seed --json-out runs byte-identical.
+echo "check.sh: ./build-check/bench/bench_placement --json-out=... (twice)"
+./build-check/bench/bench_placement \
+    --json-out=build-check/placement-a.json > build-check/placement-a.stdout
+rc=$?
+if [[ $rc -ne 0 ]]; then
+  echo "check.sh: FAIL (exit $rc): bench_placement run A" >&2
+  exit "$rc"
+fi
+run cmp bench/golden/bench_placement.stdout build-check/placement-a.stdout
+if command -v python3 >/dev/null 2>&1; then
+  run python3 scripts/validate_bench_json.py build-check/placement-a.json
+else
+  echo "check.sh: NOTICE: python3 not found on PATH; skipping placement" \
+       "JSON schema validation (determinism diff still runs)."
+fi
+run ./build-check/bench/bench_placement \
+    --json-out=build-check/placement-b.json > /dev/null
+run cmp build-check/placement-a.json build-check/placement-b.json
 
 echo "check.sh: all stages passed"

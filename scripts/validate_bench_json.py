@@ -3,8 +3,10 @@
 
 Validates either a per-bench document (``--json-out`` output) or the merged
 ``BENCH_results.json`` produced by ``JSON_OUT_DIR=<dir> ./run_benches.sh``.
-Schema version 2 — keep in lockstep with src/trace/export.{h,cc}.
+Schema version 3 — keep in lockstep with src/trace/export.{h,cc}.
 v2 adds an optional per-run "serving" section (numalab::serve SLO metrics).
+v3 adds the adaptive-placement counters to "system", "all_offline_binds"
+to "degradation" and the "placement" flag to "config".
 
 Usage: validate_bench_json.py FILE [FILE ...]
 Exits non-zero with a path-qualified message on the first violation.
@@ -13,7 +15,7 @@ Exits non-zero with a path-qualified message on the first violation.
 import json
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 COUNTER_KEYS = {
     "cycles", "thread_migrations", "mem_accesses", "private_hits",
@@ -25,15 +27,19 @@ CONFIG_KEYS = {
     "machine", "threads", "affinity", "policy", "preferred_node",
     "allocator", "autonuma", "thp", "dataset", "num_records", "cardinality",
     "build_rows", "probe_rows", "seed", "run_index", "quantum",
-    "scalar_mem_path", "deadline_cycles",
+    "scalar_mem_path", "deadline_cycles", "placement",
 }
 SYSTEM_KEYS = {
     "page_migrations", "thp_collapses", "thp_splits", "pages_mapped",
     "bytes_mapped", "bytes_mapped_peak", "balancer_migrations",
+    "pages_replicated", "replica_reads", "replica_writes",
+    "replica_invalidations", "replica_drops", "replica_bytes_peak",
+    "migrations_vetoed", "capacity_bytes_total",
 }
 DEGRADATION_KEYS = {
     "pages_spilled", "oom_last_resort_pages", "offline_redirects",
-    "alloc_failures_injected", "migration_failures_injected",
+    "all_offline_binds", "alloc_failures_injected",
+    "migration_failures_injected",
 }
 RUN_KEYS = {
     "id", "workload", "config", "status", "cycles", "aux_cycles",
@@ -130,6 +136,26 @@ def check_run(run, where):
     require(isinstance(run["status"], str) and run["status"],
             f"{where}.status", "expected a non-empty string")
     require(0.0 <= run["lar"] <= 1.0, f"{where}.lar", "LAR out of [0, 1]")
+
+    # Replication accounting invariants (src/mem placement subsystem).
+    sysc = run["system"]
+    sw_ = f"{where}.system"
+    require(sysc["replica_invalidations"] <= sysc["replica_writes"], sw_,
+            "replica_invalidations > replica_writes")
+    require(sysc["replica_invalidations"] <= sysc["replica_drops"], sw_,
+            "invalidations drop at least one copy each, but "
+            "replica_drops < replica_invalidations")
+    require(sysc["replica_drops"] <= sysc["pages_replicated"], sw_,
+            "replica_drops > pages_replicated (dropped more than created)")
+    require(sysc["replica_reads"] <= run["counters"]["local_dram"], sw_,
+            "replica_reads > local_dram (replica hits are local by def)")
+    if sysc["capacity_bytes_total"] > 0:
+        require(sysc["replica_bytes_peak"] <= sysc["capacity_bytes_total"],
+                sw_, "replica_bytes_peak exceeds machine capacity")
+    if run["config"]["placement"] is False:
+        require(sysc["pages_replicated"] == 0 and
+                sysc["migrations_vetoed"] == 0, sw_,
+                "placement counters nonzero with placement disabled")
 
     for i, t in enumerate(run["threads"]):
         tw = f"{where}.threads[{i}]"

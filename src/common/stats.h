@@ -82,9 +82,11 @@ class Histogram {
     return (uint64_t{1} << b) - 1;
   }
   /// Number of distinct values bucket `b` can hold — the error bound of
-  /// Percentile against the exact order statistic.
+  /// Percentile against the exact order statistic. Bucket 64 spans
+  /// [2^63, 2^64-1]: exactly 2^63 values, which fits in a uint64_t, so no
+  /// special case is needed (the old `b == 64 ? 0 : 1` undercounted by one).
   static uint64_t BucketWidth(int b) {
-    return BucketHi(b) - BucketLo(b) + (b == 64 ? 0 : 1);
+    return BucketHi(b) - BucketLo(b) + 1;
   }
 
   void Add(uint64_t v) {

@@ -175,7 +175,7 @@ Region* MemSystem::ResolveRegion(SpanCursor& cursor, uint64_t host_addr) {
 
 inline void MemSystem::SampleAutoNuma(sim::VThread* vt, Region* region,
                                       size_t idx, int accessor_node,
-                                      int page_node) {
+                                      int page_node, bool write) {
   size_t tid = static_cast<size_t>(vt->id);
   EnsureThreadState(vt->id);
   node_traffic_[tid][static_cast<size_t>(page_node)]++;
@@ -183,12 +183,45 @@ inline void MemSystem::SampleAutoNuma(sim::VThread* vt, Region* region,
   if (++fault_stride_[tid] < kHintingFaultStride) return;
   fault_stride_[tid] = 0;
   --fault_budget_[tid];
-  SampleAutoNumaFault(vt, region, idx, accessor_node, page_node);
+  SampleAutoNumaFault(vt, region, idx, accessor_node, page_node, write);
+}
+
+// Per-line replica routing. Reads the live replica_mask on every call, so
+// the scalar and span paths stay bit-identical without extra memo
+// invalidation: a replica created or invalidated mid-span changes routing
+// for subsequent lines in both implementations at the same point.
+inline int MemSystem::RouteReplica(sim::VThread* vt, Region* region,
+                                   size_t idx, int my_node, int page_node,
+                                   bool write) {
+  PageRec& p = region->pages[idx];
+  if (p.replica_mask == 0) return page_node;
+  if (!write) {
+    if ((p.replica_mask >> my_node) & 1) {
+      ++sys_->replica_reads;
+      return my_node;  // served by the local copy: local DRAM, local latency
+    }
+    return page_node;
+  }
+  // A store hit a replicated page: every copy is stale. Invalidate them
+  // all and charge the writer one shootdown round per copy (IPI + remote
+  // TLB flush), the classic write-amplification cost of replication.
+  ++sys_->replica_writes;
+  ++sys_->replica_invalidations;
+  // Feed the write into the page's read/write sample directly. Hinting
+  // faults only see every 64th line, and a periodic access pattern can
+  // alias with that stride so sampled faults never land on a store — the
+  // gate would then re-replicate a ping-ponging page forever. An
+  // invalidation is an *observed* write, so it always counts.
+  if (p.writes < 255) ++p.writes;
+  uint64_t copies = static_cast<uint64_t>(__builtin_popcount(p.replica_mask));
+  os_->DropPageReplicas(region, idx);
+  vt->Charge(placement_cfg_.replica_shootdown_cycles * copies);
+  return page_node;
 }
 
 void MemSystem::SampleAutoNumaFault(sim::VThread* vt, Region* region,
                                     size_t idx, int accessor_node,
-                                    int page_node) {
+                                    int page_node, bool write) {
   (void)page_node;  // consumed by the inline prefix's traffic count
   // NUMA-hinting fault: trap into the kernel and account the access.
   vt->Charge(costs_.hinting_fault_cycles);
@@ -199,11 +232,66 @@ void MemSystem::SampleAutoNumaFault(sim::VThread* vt, Region* region,
   auto& v = head.visits[static_cast<size_t>(accessor_node)];
   if (v < 255) ++v;
 
+  if (placement_) {
+    // Lazy wave decay: halve heat and the read/write samples once per
+    // missed scan wave, so "hot" means a sustained access *rate*, not a
+    // lifetime count. Touched pages pay one subtract + shifts; idle pages
+    // pay nothing until their next fault.
+    uint16_t wave = static_cast<uint16_t>(wave_epoch_);
+    if (head.heat_wave != wave) {
+      uint16_t age = static_cast<uint16_t>(wave - head.heat_wave);
+      if (age >= 8) {
+        head.heat = 0;
+        head.reads = 0;
+        head.writes = 0;
+      } else {
+        head.heat = static_cast<uint16_t>(head.heat >> age);
+        head.reads = static_cast<uint8_t>(head.reads >> age);
+        head.writes = static_cast<uint8_t>(head.writes >> age);
+      }
+      head.heat_wave = wave;
+    }
+    head.heat = head.heat >= 0xFFFF - 16
+                    ? 0xFFFF
+                    : static_cast<uint16_t>(head.heat + 16);
+    uint8_t& rw = write ? head.writes : head.reads;
+    if (rw < 255) ++rw;
+
+    // Hot-page replication: a read-mostly page sampled repeatedly from a
+    // remote node gains a local copy there when the modeled remote-access
+    // savings over the observed sample window exceed the modeled copy
+    // cost. Each visit stands for ~kHintingFaultStride DRAM lines.
+    if (placement_cfg_.replicate && !write && !head.huge &&
+        accessor_node != head.node && head.node >= 0 &&
+        !((head.replica_mask >> accessor_node) & 1) &&
+        head.heat >= placement_cfg_.min_heat &&
+        v >= placement_cfg_.replicate_threshold &&
+        head.reads >= placement_cfg_.read_write_ratio *
+                          std::max<uint32_t>(head.writes, 1)) {
+      int64_t gain_per_line =
+          static_cast<int64_t>(DramLatency(accessor_node, head.node)) -
+          static_cast<int64_t>(DramLatency(accessor_node, accessor_node));
+      int64_t benefit = static_cast<int64_t>(v) * kHintingFaultStride *
+                        gain_per_line;
+      uint64_t copy = static_cast<uint64_t>(
+          static_cast<double>(kSmallPageBytes) /
+          machine_->mem_ctrl_bytes_per_cycle());
+      if (benefit > static_cast<int64_t>(costs_.page_migration_cycles + copy) &&
+          os_->AddReplica(region, eff, accessor_node)) {
+        // The faulting access waits for its copy, like a migrating page.
+        vt->Charge(costs_.page_migration_cycles + copy);
+      }
+    }
+  }
+
   // Kernel promotion rule (cost-oblivious, like upstream AutoNUMA): once a
   // remote node has sampled enough accesses and strictly dominates, move
   // the page there — no matter how shared the page is. The kernel does
   // back off per page and rate-limit globally, which keeps the damage to
-  // "significantly detrimental" rather than "unbounded".
+  // "significantly detrimental" rather than "unbounded". Under placement's
+  // cost_aware gate the move must additionally pay for itself across the
+  // whole observed sample window (and replicated pages stay put: their
+  // readers are already local).
   uint64_t epoch = vt->clock / kRateEpochCycles;
   if (epoch != migrate_epoch_) {
     migrate_epoch_ = epoch;
@@ -221,10 +309,42 @@ void MemSystem::SampleAutoNumaFault(sim::VThread* vt, Region* region,
       }
     }
     if (best != head.node) {
-      uint64_t addr = region->base + eff * kSmallPageBytes;
-      os_->MigratePage(region, eff, best, vt->clock);
-      ShootdownTlb(addr);
-      ++migrations_this_epoch_;
+      bool do_migrate = true;
+      if (placement_ && placement_cfg_.cost_aware) {
+        if (head.replica_mask != 0) {
+          do_migrate = false;  // replicas already serve the remote readers
+        } else {
+          // Net savings of homing the page at `best`, summed over every
+          // node's observed samples (a node nearer to the current home
+          // than to `best` contributes negatively — shared pages veto
+          // themselves).
+          int64_t savings = 0;
+          for (int n = 0; n < machine_->num_nodes(); ++n) {
+            int64_t delta =
+                static_cast<int64_t>(DramLatency(n, head.node)) -
+                static_cast<int64_t>(DramLatency(n, best));
+            savings += static_cast<int64_t>(
+                           head.visits[static_cast<size_t>(n)]) *
+                       kHintingFaultStride * delta;
+          }
+          uint64_t bytes = head.huge ? kHugePageBytes : kSmallPageBytes;
+          uint64_t copy = static_cast<uint64_t>(
+              static_cast<double>(bytes) /
+              machine_->mem_ctrl_bytes_per_cycle());
+          do_migrate =
+              savings >
+              static_cast<int64_t>(
+                  std::max<uint32_t>(placement_cfg_.migrate_hysteresis, 1) *
+                  (costs_.page_migration_cycles + copy));
+        }
+        if (!do_migrate) ++sys_->migrations_vetoed;
+      }
+      if (do_migrate) {
+        uint64_t addr = region->base + eff * kSmallPageBytes;
+        os_->MigratePage(region, eff, best, vt->clock);
+        ShootdownTlb(addr);
+        ++migrations_this_epoch_;
+      }
     }
   }
 }
@@ -234,7 +354,8 @@ void MemSystem::SampleAutoNumaFault(sim::VThread* vt, Region* region,
 // one without the other (tests/span_parity_test.cc holds them together).
 void MemSystem::AccessScalar(sim::VThread* vt, const void* addr_p,
                              uint64_t bytes, bool write) {
-  (void)write;  // reads and writes are charged identically (no WB model)
+  // Reads and writes are charged identically (no WB model); `write` only
+  // matters to placement (replica routing + read/write sampling).
   if (bytes == 0) return;
   uint64_t addr = reinterpret_cast<uint64_t>(addr_p);
   // All hashing below uses slab-relative addresses so runs replay
@@ -299,6 +420,10 @@ void MemSystem::AccessScalar(sim::VThread* vt, const void* addr_p,
       page_idx = region->PageIndex(probe_addr);
     }
     int page_node = os_->Touch(region, page_idx, my_node);
+    if (placement_) {
+      page_node = RouteReplica(vt, region, page_idx, my_node, page_node,
+                               write);
+    }
 
     // Stall behind an in-flight kernel copy (migration / THP collapse).
     size_t eff = region->pages[page_idx].huge ? region->HugeHead(page_idx)
@@ -326,7 +451,7 @@ void MemSystem::AccessScalar(sim::VThread* vt, const void* addr_p,
     vt->Charge(lat + delay);
 
     if (autonuma_) {
-      SampleAutoNuma(vt, region, page_idx, my_node, page_node);
+      SampleAutoNuma(vt, region, page_idx, my_node, page_node, write);
     }
 
     if (costs_.model_caches) {
@@ -359,7 +484,8 @@ void MemSystem::AccessScalar(sim::VThread* vt, const void* addr_p,
 //    memos are dropped whenever a sample bumps a generation counter.
 void MemSystem::SpanFast(sim::VThread* vt, uint64_t addr, uint64_t bytes,
                          uint64_t stride, bool write) {
-  (void)write;  // reads and writes are charged identically (no WB model)
+  // Reads and writes are charged identically (no WB model); `write` only
+  // matters to placement (replica routing + read/write sampling).
   const uint64_t rel0 = os_->ToSimAddr(addr);
   const uint64_t slab = addr - rel0;
   const int core = machine_->CoreOfHwThread(vt->hw_thread);
@@ -497,7 +623,7 @@ void MemSystem::SpanFast(sim::VThread* vt, uint64_t addr, uint64_t bytes,
         r = page_region;
         pnode = page_node;
         busy = page_busy;
-        if (autonuma_) pidx = r->PageIndex(probe_addr);
+        if (autonuma_ || placement_) pidx = r->PageIndex(probe_addr);
       } else {
         r = ResolveRegion(cursor, probe_addr);
         pidx = r->PageIndex(probe_addr);
@@ -508,9 +634,12 @@ void MemSystem::SpanFast(sim::VThread* vt, uint64_t addr, uint64_t bytes,
         page_region = r;
         page_lo = r->base + eff * kSmallPageBytes;
         page_hi = page_lo + (huge ? kHugePageBytes : kSmallPageBytes);
-        page_node = pnode;
+        page_node = pnode;  // memo keeps the home node; routing is per line
         page_busy = busy;
         page_valid = true;
+      }
+      if (placement_) {
+        pnode = RouteReplica(vt, r, pidx, my_node, pnode, write);
       }
 
       // Stall behind an in-flight kernel copy (migration / THP collapse).
@@ -542,9 +671,9 @@ void MemSystem::SpanFast(sim::VThread* vt, uint64_t addr, uint64_t bytes,
         dram_epoch = epoch;
         dram_valid = true;
       } else if (costs_.model_contention) {
-        if (autonuma_) {
-          // Sampling may roll the epoch mid-line (fault charges, migration
-          // traffic), so never defer bookings while it is on.
+        if (autonuma_ || placement_) {
+          // Sampling (and replica shootdown charges) may roll the epoch
+          // mid-line, so never defer bookings while either is on.
           contention_.Book(*machine_, my_node, pnode, now, kCacheLineBytes);
         } else {
           pending_bytes += kCacheLineBytes;
@@ -557,7 +686,7 @@ void MemSystem::SpanFast(sim::VThread* vt, uint64_t addr, uint64_t bytes,
       ChargeScaledN(vt, s_line, 1);
 
       if (autonuma_) {
-        SampleAutoNuma(vt, r, pidx, my_node, pnode);
+        SampleAutoNuma(vt, r, pidx, my_node, pnode, write);
         if (trans_gen_ != trans_snap ||
             os_->mutation_generation() != os_snap) {
           // The sample migrated a page / shot down TLBs: every cached

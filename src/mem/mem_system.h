@@ -30,6 +30,7 @@
 #include "src/mem/caches.h"
 #include "src/mem/contention.h"
 #include "src/mem/cost_model.h"
+#include "src/mem/placement.h"
 #include "src/mem/sim_os.h"
 #include "src/mem/tlb.h"
 #include "src/perf/counters.h"
@@ -55,12 +56,24 @@ class MemSystem {
   void SetAutoNumaSampling(bool on) { autonuma_ = on; }
   bool autonuma_sampling() const { return autonuma_; }
 
+  /// Adaptive placement (src/mem/placement.h): hot/cold tracking on the
+  /// hinting-fault hook, per-node read replicas and the cost-aware
+  /// migration gate. Sampled state only accrues while AutoNUMA sampling is
+  /// on (SimContext starts the daemon whenever placement is enabled).
+  void SetPlacement(const PlacementConfig& pc) {
+    placement_cfg_ = pc;
+    placement_ = pc.enabled;
+  }
+  const PlacementConfig& placement() const { return placement_cfg_; }
+
   /// Arms a new NUMA-hinting fault wave: the kernel's periodic PTE scan
   /// unmaps a bounded span, so each thread takes at most `budget` hinting
   /// faults until the next scan. Called by the AutoNuma daemon each tick.
+  /// Each wave also advances the placement heat-decay epoch.
   void ArmAutoNumaWave(uint64_t budget) {
     for (auto& b : fault_budget_) b = budget;
     wave_budget_ = budget;
+    ++wave_epoch_;
   }
 
   /// Charges one logical access of `bytes` at `addr` by the current thread.
@@ -169,11 +182,18 @@ class MemSystem {
   /// unless this access takes a hinting fault. Runs once per DRAM line, so
   /// it is defined inline in mem_system.cc (its only callers live there).
   void SampleAutoNuma(sim::VThread* vt, Region* region, size_t idx,
-                      int accessor_node, int page_node);
-  /// The hinting fault itself: kernel-trap charge, visit bookkeeping and
-  /// the cost-oblivious promotion rule.
+                      int accessor_node, int page_node, bool write);
+  /// The hinting fault itself: kernel-trap charge, visit/heat bookkeeping,
+  /// hot-page replication, and the promotion rule (cost-oblivious stock
+  /// AutoNUMA, or the placement benefit/cost gate).
   void SampleAutoNumaFault(sim::VThread* vt, Region* region, size_t idx,
-                           int accessor_node, int page_node);
+                           int accessor_node, int page_node, bool write);
+  /// Per-DRAM-line replica routing: local replicas serve reads; a write to
+  /// a replicated page invalidates every copy and charges the shootdown.
+  /// Returns the node that actually serves the line. Only called while
+  /// placement is enabled; defined inline in mem_system.cc.
+  int RouteReplica(sim::VThread* vt, Region* region, size_t idx, int my_node,
+                   int page_node, bool write);
 
   /// dram_latency * LatencyFactor(src,dst) / mlp, truncated — fixed at
   /// construction, cached so the per-DRAM-line path skips the double math.
@@ -191,6 +211,9 @@ class MemSystem {
   std::vector<Tlb> tlbs_;  // one per physical core
   bool autonuma_ = false;
   bool scalar_reference_ = false;
+  bool placement_ = false;
+  PlacementConfig placement_cfg_;
+  uint64_t wave_epoch_ = 0;  ///< heat-decay epoch, bumped per scan wave
   sanity::RaceDetector* race_ = nullptr;
   std::vector<std::array<uint64_t, kMaxNumaNodes>> node_traffic_;
   std::vector<uint32_t> fault_stride_;  // per-thread sampling countdown

@@ -34,6 +34,16 @@ struct PageRec {
   uint8_t resident = 0;         ///< touched at least once
   uint8_t huge = 0;             ///< member of a collapsed 2M run
   uint8_t visits[kMaxNumaNodes] = {0};  ///< AutoNUMA access samples by node
+
+  // Adaptive placement state (src/mem/placement.h); all zero and never
+  // read while placement is disabled. Only non-huge pages ever carry a
+  // replica_mask: THP collapse refuses replicated members.
+  uint8_t replica_mask = 0;     ///< nodes holding a read replica (bit=node)
+  uint8_t reads = 0;            ///< sampled reads (saturating, wave-decayed)
+  uint8_t writes = 0;           ///< sampled writes (saturating, wave-decayed)
+  uint16_t heat = 0;            ///< access-rate accumulator, wave-decayed
+  uint16_t heat_wave = 0;       ///< scan-wave epoch of the last heat update
+
   uint64_t migrating_until = 0; ///< accesses stall until this virtual time
 };
 

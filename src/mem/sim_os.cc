@@ -18,7 +18,12 @@ SimOS::SimOS(const topology::Machine* machine, sim::Engine* engine,
       slot_region_(kSlabBytes / kSlotBytes, nullptr),
       node_bound_bytes_(static_cast<size_t>(machine->num_nodes()), 0),
       node_cap_(static_cast<size_t>(machine->num_nodes()),
-                machine->node_memory_bytes()) {
+                machine->node_memory_bytes()),
+      node_replica_bytes_(static_cast<size_t>(machine->num_nodes()), 0),
+      replica_stack_(static_cast<size_t>(machine->num_nodes())) {
+  sys_->capacity_bytes_total =
+      static_cast<uint64_t>(machine->num_nodes()) *
+      machine->node_memory_bytes();
   void* p = mmap(nullptr, kSlabBytes, PROT_READ | PROT_WRITE,
                  MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
   NUMALAB_CHECK(p != MAP_FAILED);
@@ -38,11 +43,13 @@ SimOS::SimOS(const topology::Machine* machine, sim::Engine* engine,
 
 void SimOS::SetFaultLab(faultlab::FaultLab* faults) {
   faults_ = faults;
+  sys_->capacity_bytes_total = 0;
   for (int n = 0; n < machine_->num_nodes(); ++n) {
     node_cap_[static_cast<size_t>(n)] =
         faults != nullptr
             ? faults->NodeCapacityBytes(n, machine_->node_memory_bytes())
             : machine_->node_memory_bytes();
+    sys_->capacity_bytes_total += node_cap_[static_cast<size_t>(n)];
   }
 }
 
@@ -107,7 +114,10 @@ Region* SimOS::TryMap(uint64_t bytes, bool thp_eligible) {
 
 void SimOS::Unmap(Region* region) {
   ++mutation_gen_;
-  for (size_t i = 0; i < region->pages.size(); ++i) DropResident(region, i);
+  for (size_t i = 0; i < region->pages.size(); ++i) {
+    DropResident(region, i);
+    if (region->pages[i].replica_mask != 0) DropPageReplicas(region, i);
+  }
   for (auto& p : region->pages) {
     if (p.node >= 0) {
       node_bound_bytes_[static_cast<size_t>(p.node)] -= kSmallPageBytes;
@@ -134,12 +144,16 @@ void SimOS::MadviseDontNeed(Region* region, uint64_t offset, uint64_t len,
   for (uint64_t i = first; i < last && i < region->pages.size(); ++i) {
     PageRec& p = region->pages[i];
     if (p.huge) SplitHuge(region, region->HugeHead(i), now);
+    if (p.replica_mask != 0) DropPageReplicas(region, i);
     DropResident(region, i);
     if (p.node >= 0) {
       node_bound_bytes_[static_cast<size_t>(p.node)] -= kSmallPageBytes;
       p.node = -1;
     }
     for (auto& v : p.visits) v = 0;
+    p.reads = 0;
+    p.writes = 0;
+    p.heat = 0;
   }
 }
 
@@ -156,8 +170,24 @@ int SimOS::ChooseBindNode(int accessor_node) {
     case MemPolicy::kLocalAlloc:
       return accessor_node;
     case MemPolicy::kInterleave: {
+      // Kernel interleave rotates over the *allowed* nodemask: offline
+      // nodes are not candidates. Rotating over all nodes (the old
+      // behaviour) made every Nth allocation target an offline node only
+      // for the spill walk to reroute it, skewing placement and inflating
+      // offline_redirects. Bit-identical when faultlab is off (the loop
+      // below never runs); all-offline falls through to BindWithSpill.
+      const int nn = machine_->num_nodes();
       int n = interleave_cursor_;
-      interleave_cursor_ = (interleave_cursor_ + 1) % machine_->num_nodes();
+      interleave_cursor_ = (interleave_cursor_ + 1) % nn;
+      if (faults_ != nullptr) {
+        uint64_t now = 0;
+        if (sim::VThread* vt = engine_->current()) now = vt->clock;
+        for (int tries = 1; tries < nn && !faults_->NodeOnline(n, now);
+             ++tries) {
+          n = interleave_cursor_;
+          interleave_cursor_ = (interleave_cursor_ + 1) % nn;
+        }
+      }
       return n;
     }
     case MemPolicy::kPreferred:
@@ -173,14 +203,16 @@ int SimOS::BindWithSpill(int desired, uint64_t bytes) {
   if (sim::VThread* vt = engine_->current()) now = vt->clock;
   bool desired_online =
       faults_ == nullptr || faults_->NodeOnline(desired, now);
-  if (desired_online && NodeHasRoom(desired, bytes)) return desired;
+  if (desired_online && EnsureRoom(desired, bytes)) return desired;
 
   // Walk the desired node's zonelist (nearest-distance order) for an
   // online node with room — the kernel's fallback allocation order.
+  // Replicas on a candidate node are reclaimed before declaring it full:
+  // real pages must never spill while droppable copies hold the space.
   for (int n : zonelist_[static_cast<size_t>(desired)]) {
     if (n == desired) continue;
     if (faults_ != nullptr && !faults_->NodeOnline(n, now)) continue;
-    if (!NodeHasRoom(n, bytes)) continue;
+    if (!EnsureRoom(n, bytes)) continue;
     if (desired_online) {
       ++sys_->pages_spilled;
     } else {
@@ -189,15 +221,88 @@ int SimOS::BindWithSpill(int desired, uint64_t bytes) {
     return n;
   }
 
-  // Every zone full: bind anyway ("too small to fail" OOM semantics) on
-  // the nearest online node, so the simulation degrades instead of dying.
-  ++sys_->oom_last_resort_pages;
-  if (!desired_online) {
-    for (int n : zonelist_[static_cast<size_t>(desired)]) {
-      if (n != desired && faults_->NodeOnline(n, now)) return n;
+  if (desired_online) {
+    // Every zone full: bind anyway ("too small to fail" OOM semantics) on
+    // the desired node, so the simulation degrades instead of dying.
+    ++sys_->oom_last_resort_pages;
+    return desired;
+  }
+  // Desired node offline and every online node full: overcommit the
+  // nearest online node. This is a redirect off an offline node, not an
+  // OOM bind on `desired` (the old code counted it as the latter).
+  for (int n : zonelist_[static_cast<size_t>(desired)]) {
+    if (n != desired && faults_->NodeOnline(n, now)) {
+      ++sys_->offline_redirects;
+      return n;
     }
   }
+  // Every node in the machine is offline. There is nothing sane to bind
+  // to; record the degradation (the old code silently returned the
+  // offline node) and keep the desired binding so the run can limp on.
+  ++sys_->all_offline_binds;
   return desired;
+}
+
+bool SimOS::EnsureRoom(int node, uint64_t bytes) {
+  if (NodeHasRoom(node, bytes)) return true;
+  auto& stack = replica_stack_[static_cast<size_t>(node)];
+  while (!NodeHasRoom(node, bytes) && !stack.empty()) {
+    auto [base, idx] = stack.back();
+    stack.pop_back();
+    // Validate lazily: the region may have been unmapped (possibly with
+    // its slots reused by a fresh region, whose pages start replica-free)
+    // or the replica already invalidated; stale entries are skipped.
+    auto it = regions_.find(base);
+    if (it == regions_.end()) continue;
+    Region* r = it->second;
+    if (idx >= r->pages.size()) continue;
+    if (!((r->pages[idx].replica_mask >> node) & 1)) continue;
+    DropReplica(r, idx, node);
+  }
+  return NodeHasRoom(node, bytes);
+}
+
+bool SimOS::AddReplica(Region* region, size_t idx, int node) {
+  PageRec& p = region->pages[idx];
+  if (p.huge || !p.resident || p.node < 0) return false;
+  if (p.node == node || ((p.replica_mask >> node) & 1)) return false;
+  uint64_t now = 0;
+  if (sim::VThread* vt = engine_->current()) now = vt->clock;
+  if (faults_ != nullptr && !faults_->NodeOnline(node, now)) return false;
+  // Replicas are strictly opportunistic: they fill free capacity and are
+  // never allowed to displace (spill) real pages.
+  if (!NodeHasRoom(node, kSmallPageBytes)) return false;
+  p.replica_mask |= static_cast<uint8_t>(1u << node);
+  node_bound_bytes_[static_cast<size_t>(node)] += kSmallPageBytes;
+  node_replica_bytes_[static_cast<size_t>(node)] += kSmallPageBytes;
+  replica_bytes_total_ += kSmallPageBytes;
+  replica_stack_[static_cast<size_t>(node)].push_back(
+      {region->base, static_cast<uint32_t>(idx)});
+  ++sys_->pages_replicated;
+  sys_->replica_bytes_peak =
+      std::max(sys_->replica_bytes_peak, replica_bytes_total_);
+  // Kernel copy traffic: read the home copy, write the new one.
+  contention_->Inject(p.node, now, kSmallPageBytes);
+  contention_->Inject(node, now, kSmallPageBytes);
+  return true;
+}
+
+void SimOS::DropReplica(Region* region, size_t idx, int node) {
+  PageRec& p = region->pages[idx];
+  p.replica_mask &= static_cast<uint8_t>(~(1u << node));
+  node_bound_bytes_[static_cast<size_t>(node)] -= kSmallPageBytes;
+  node_replica_bytes_[static_cast<size_t>(node)] -= kSmallPageBytes;
+  replica_bytes_total_ -= kSmallPageBytes;
+  ++sys_->replica_drops;
+}
+
+void SimOS::DropPageReplicas(Region* region, size_t idx) {
+  uint8_t mask = region->pages[idx].replica_mask;
+  while (mask != 0) {
+    int node = __builtin_ctz(mask);
+    mask &= static_cast<uint8_t>(mask - 1);
+    DropReplica(region, idx, node);
+  }
 }
 
 void SimOS::AddResident(Region* region, size_t idx) {
@@ -281,6 +386,9 @@ void SimOS::MigratePage(Region* region, size_t idx, int to_node,
     }
     if (faults_->DrawMigrationFailure()) return;
   }
+  // The moving copy supersedes any replicas; readers re-replicate at the
+  // new home if the page stays read-hot.
+  if (head.replica_mask != 0) DropPageReplicas(region, eff);
   ++mutation_gen_;
   uint64_t bytes = head.huge ? kHugePageBytes : kSmallPageBytes;
   if (head.node >= 0) {
@@ -309,6 +417,10 @@ bool SimOS::TryCollapseHuge(Region* region, size_t head_idx, uint64_t now) {
   for (int i = 0; i < kSmallPagesPerHuge; ++i) {
     const PageRec& p = region->pages[head_idx + static_cast<size_t>(i)];
     if (!p.resident || p.huge || p.node != node) return false;
+    // Replicated members pin the run as 4K pages: collapsing would fold a
+    // hot replicated page into a huge run whose head cannot carry the
+    // per-4K replica state (and a 2M replica per node is not modelled).
+    if (p.replica_mask != 0) return false;
   }
   ++mutation_gen_;
   for (int i = 0; i < kSmallPagesPerHuge; ++i) {

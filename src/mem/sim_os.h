@@ -115,8 +115,28 @@ class SimOS {
 
   /// Moves the 4K page (or whole huge run) to `to_node`: kernel copy traffic
   /// is injected into the contention model and subsequent accesses stall
-  /// until the copy completes. Used by the AutoNUMA model.
+  /// until the copy completes. Used by the AutoNUMA model. Any replicas of
+  /// the page are dropped first (the copy supersedes them).
   void MigratePage(Region* region, size_t idx, int to_node, uint64_t now);
+
+  /// Adaptive placement: grants `node` a read replica of the (non-huge,
+  /// resident, bound) 4K page. Replicas consume capacity on `node` but are
+  /// the first thing reclaimed under pressure — they never displace real
+  /// pages (AddReplica fails instead of spilling) and BindWithSpill drops
+  /// them to make room before counting a spill. Injects the copy traffic
+  /// into the contention model on both nodes. Returns success.
+  bool AddReplica(Region* region, size_t idx, int node);
+
+  /// Drops every replica of the page (write invalidation, migration,
+  /// madvise, unmap). Pure accounting — the caller charges any simulated
+  /// shootdown cost. Safe on pages without replicas.
+  void DropPageReplicas(Region* region, size_t idx);
+
+  /// Bytes currently held by replicas on `node` / across the machine.
+  uint64_t replica_bytes(int node) const {
+    return node_replica_bytes_[static_cast<size_t>(node)];
+  }
+  uint64_t replica_bytes_total() const { return replica_bytes_total_; }
 
   /// Collapses the 2M-aligned run starting at head_idx if all 512 pages are
   /// resident, bound, not already huge, and on one node. Returns success.
@@ -157,6 +177,10 @@ class SimOS {
     return node_bound_bytes_[static_cast<size_t>(node)] + bytes <=
            node_cap_[static_cast<size_t>(node)];
   }
+  /// NodeHasRoom, after reclaiming replicas on `node` if that is what it
+  /// takes — replicas are droppable cache, real pages are not.
+  bool EnsureRoom(int node, uint64_t bytes);
+  void DropReplica(Region* region, size_t idx, int node);
   void AddResident(Region* region, size_t idx);
   int TouchSlow(Region* region, size_t idx, int accessor_node);
   void DropResident(Region* region, size_t idx);
@@ -186,6 +210,15 @@ class SimOS {
   faultlab::FaultLab* faults_ = nullptr;
   std::vector<uint64_t> node_cap_;            ///< enforced capacity per node
   std::vector<std::vector<int>> zonelist_;    ///< [node] -> fallback order
+
+  // Adaptive placement replica accounting. The per-node stacks record
+  // (region base, page index) of replicas in creation order for
+  // reclaim-before-spill; entries are validated lazily against the live
+  // replica_mask (a dropped replica or unmapped region leaves a stale
+  // entry behind that reclaim skips). Empty unless placement is on.
+  std::vector<uint64_t> node_replica_bytes_;
+  uint64_t replica_bytes_total_ = 0;
+  std::vector<std::vector<std::pair<uint64_t, uint32_t>>> replica_stack_;
 };
 
 }  // namespace mem

@@ -87,10 +87,21 @@ struct SystemCounters {
   uint64_t bytes_mapped_peak = 0;
   uint64_t balancer_migrations = 0;   ///< load-balancer thread moves
 
+  // Adaptive placement (src/mem/placement.h; all zero when disabled).
+  uint64_t pages_replicated = 0;       ///< per-node replica copies created
+  uint64_t replica_reads = 0;          ///< DRAM reads served by a local replica
+  uint64_t replica_writes = 0;         ///< writes that hit a replicated page
+  uint64_t replica_invalidations = 0;  ///< write-triggered shootdown events
+  uint64_t replica_drops = 0;          ///< replica copies released (any cause)
+  uint64_t replica_bytes_peak = 0;     ///< peak bytes held by replicas
+  uint64_t migrations_vetoed = 0;      ///< cost-aware gate rejected the move
+  uint64_t capacity_bytes_total = 0;   ///< sum of enforced node capacities
+
   // faultlab degradation counters (all zero in a no-fault run).
   uint64_t pages_spilled = 0;          ///< binds redirected off a full node
   uint64_t oom_last_resort_pages = 0;  ///< every zone full; bound anyway
   uint64_t offline_redirects = 0;      ///< binds redirected off offline nodes
+  uint64_t all_offline_binds = 0;      ///< every node offline; bound offline
   uint64_t alloc_failures_injected = 0;
   uint64_t migration_failures_injected = 0;
 };

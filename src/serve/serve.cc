@@ -118,6 +118,11 @@ struct ServeState {
 /// traffic to the preferred node, kInterleave has no owner (pages are
 /// round-robined) so requests hash-spread instead.
 int RouteNode(const ServeState& s, const Request& r) {
+  if (s.sc->spread_reads && (r.type == RequestType::kPointGet ||
+                             r.type == RequestType::kRangeAgg)) {
+    return static_cast<int>((index::HashKey(r.key) >> 32) %
+                            static_cast<uint64_t>(s.nodes));
+  }
   switch (s.ctx->config().policy) {
     case mem::MemPolicy::kPreferred:
       return s.ctx->config().preferred_node % s.nodes;
@@ -271,6 +276,13 @@ void GenerateRequests(ServeState& s, Rng& rng) {
     r.type = static_cast<RequestType>(t);
     switch (r.type) {
       case RequestType::kPointGet:
+        // Hot-set draw first (short-circuit keeps the stream bit-identical
+        // when the skew is off); hot hits leave the scan cursor alone.
+        if (sc.hot_fraction > 0 && sc.hot_keys > 0 &&
+            rng.Bernoulli(sc.hot_fraction)) {
+          r.key = rng.Uniform(sc.hot_keys);
+          break;
+        }
         if (rng.Bernoulli(sc.point_locality)) {
           cursor = (cursor + 1) % sc.kv_keys;
         } else {
@@ -282,6 +294,11 @@ void GenerateRequests(ServeState& s, Rng& rng) {
         uint64_t span = sc.kv_keys > sc.range_rows
                             ? sc.kv_keys - sc.range_rows
                             : 1;
+        if (sc.hot_fraction > 0 && sc.hot_keys > 0 &&
+            rng.Bernoulli(sc.hot_fraction)) {
+          span = sc.hot_keys > sc.range_rows ? sc.hot_keys - sc.range_rows
+                                             : 1;
+        }
         r.key = rng.Uniform(span);
         r.rows = static_cast<uint32_t>(sc.range_rows);
         break;

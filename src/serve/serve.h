@@ -11,7 +11,7 @@
 // their home queue with a dynamic batcher that coalesces compatible point
 // lookups into MemSystem::AccessSpan batched accesses under a latency
 // budget. Per-request sojourn latencies land in mergeable log2 Histograms
-// (stats.h) and are exported through numalab::trace as the schema-v2
+// (stats.h) and are exported through numalab::trace as the schema-v3
 // "serving" JSON section.
 //
 // Everything — arrival times, request payloads, routing, retries — derives
@@ -88,6 +88,20 @@ struct ServeConfig {
   /// continues its scan cursor (key+1) instead of jumping uniformly — the
   /// MovingCluster-style adjacency the batcher's span coalescing feeds on.
   double point_locality = 0.5;
+  /// Hot-set skew: the fraction of point/range requests redrawn from the
+  /// keys in [0, hot_keys). 0 disables the skew and draws no RNG, so
+  /// existing request streams stay bit-identical. The hot keys all live in
+  /// the low partitions, concentrating read traffic on few pages — the
+  /// access pattern adaptive placement's replication targets
+  /// (bench_placement).
+  double hot_fraction = 0.0;
+  uint64_t hot_keys = 0;
+  /// Route point/range requests by key hash instead of by data ownership:
+  /// every node then serves — and remotely reads — the shared store, the
+  /// way a stateless serving tier in front of one dataset does. Routing is
+  /// then identical across MemPolicy cells, isolating data placement as
+  /// the only difference.
+  bool spread_reads = false;
   /// Rows per range-aggregation request.
   uint64_t range_rows = 256;
   /// Build side of the shared probe table (built during warmup).

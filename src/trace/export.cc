@@ -87,9 +87,11 @@ void AppendConfig(std::string* out, const workloads::RunConfig& c) {
           c.num_records, c.cardinality, c.build_rows, c.probe_rows);
   Appendf(out,
           ",\"seed\":%" PRIu64 ",\"run_index\":%d,\"quantum\":%" PRIu64
-          ",\"scalar_mem_path\":%s,\"deadline_cycles\":%" PRIu64 "}",
+          ",\"scalar_mem_path\":%s,\"deadline_cycles\":%" PRIu64
+          ",\"placement\":%s}",
           c.seed, c.run_index, c.quantum,
-          c.scalar_mem_path ? "true" : "false", c.deadline_cycles);
+          c.scalar_mem_path ? "true" : "false", c.deadline_cycles,
+          c.placement.enabled ? "true" : "false");
 }
 
 void AppendRun(std::string* out, const CollectedRun& run, int id) {
@@ -115,18 +117,29 @@ void AppendRun(std::string* out, const CollectedRun& run, int id) {
           ",\n     \"system\":{\"page_migrations\":%" PRIu64
           ",\"thp_collapses\":%" PRIu64 ",\"thp_splits\":%" PRIu64
           ",\"pages_mapped\":%" PRIu64 ",\"bytes_mapped\":%" PRIu64
-          ",\"bytes_mapped_peak\":%" PRIu64 ",\"balancer_migrations\":%" PRIu64
-          "}",
+          ",\"bytes_mapped_peak\":%" PRIu64 ",\"balancer_migrations\":%" PRIu64,
           s.page_migrations, s.thp_collapses, s.thp_splits, s.pages_mapped,
           s.bytes_mapped, s.bytes_mapped_peak, s.balancer_migrations);
+  Appendf(out,
+          ",\n      \"pages_replicated\":%" PRIu64
+          ",\"replica_reads\":%" PRIu64 ",\"replica_writes\":%" PRIu64
+          ",\"replica_invalidations\":%" PRIu64 ",\"replica_drops\":%" PRIu64,
+          s.pages_replicated, s.replica_reads, s.replica_writes,
+          s.replica_invalidations, s.replica_drops);
+  Appendf(out,
+          ",\"replica_bytes_peak\":%" PRIu64 ",\"migrations_vetoed\":%" PRIu64
+          ",\"capacity_bytes_total\":%" PRIu64 "}",
+          s.replica_bytes_peak, s.migrations_vetoed, s.capacity_bytes_total);
   Appendf(out,
           ",\n     \"degradation\":{\"pages_spilled\":%" PRIu64
           ",\"oom_last_resort_pages\":%" PRIu64
           ",\"offline_redirects\":%" PRIu64
+          ",\"all_offline_binds\":%" PRIu64
           ",\"alloc_failures_injected\":%" PRIu64
           ",\"migration_failures_injected\":%" PRIu64 "}",
           r.pages_spilled, r.oom_last_resort_pages, r.offline_redirects,
-          r.alloc_failures_injected, r.migration_failures_injected);
+          r.all_offline_binds, r.alloc_failures_injected,
+          r.migration_failures_injected);
 
   out->append(",\n     \"threads\":[");
   for (size_t i = 0; i < r.trace.threads.size(); ++i) {

@@ -30,7 +30,11 @@ namespace trace {
 /// Version of the JSON document layout below. Bump on any key change and
 /// update scripts/validate_bench_json.py in the same commit.
 /// v2: optional per-run "serving" section (numalab::serve SLO metrics).
-inline constexpr int kJsonSchemaVersion = 2;
+/// v3: adaptive-placement counters in "system" (pages_replicated,
+///     replica_reads/writes/invalidations/drops, replica_bytes_peak,
+///     migrations_vetoed, capacity_bytes_total), "all_offline_binds" in
+///     "degradation", and the "placement" flag in "config".
+inline constexpr int kJsonSchemaVersion = 3;
 
 /// \brief One workload run as deposited by CollectRun.
 struct CollectedRun {

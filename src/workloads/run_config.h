@@ -12,6 +12,7 @@
 #include "src/faultlab/fault_plan.h"
 #include "src/mem/cost_model.h"
 #include "src/mem/page.h"
+#include "src/mem/placement.h"
 #include "src/osmodel/os_config.h"
 #include "src/perf/counters.h"
 #include "src/trace/span.h"
@@ -76,6 +77,13 @@ struct RunConfig {
 
   mem::CostModel costs;  ///< ablation switches live here
 
+  /// Adaptive placement (hot-page replication + cost-aware migration).
+  /// Disabled by default: stock AutoNUMA code paths, bit-identical to the
+  /// pre-placement simulator. Enabling it also starts the AutoNuma daemon
+  /// (placement samples on the hinting-fault hook) even when `autonuma`
+  /// is false.
+  mem::PlacementConfig placement;
+
   /// Fault-injection plan (src/faultlab). A default (disabled) plan is
   /// guaranteed zero-cost: the run takes exactly the code paths — and
   /// produces bit-identical results — it did before faultlab existed. When
@@ -115,6 +123,7 @@ struct RunResult {
   uint64_t pages_spilled = 0;
   uint64_t oom_last_resort_pages = 0;
   uint64_t offline_redirects = 0;
+  uint64_t all_offline_binds = 0;
   uint64_t alloc_failures_injected = 0;
   uint64_t migration_failures_injected = 0;
 

@@ -44,6 +44,7 @@ SimContext::SimContext(const RunConfig& config)
       barrier_(&engine_, config.threads) {
   memsys_->os()->SetPolicy(config.policy, config.preferred_node);
   memsys_->SetScalarReference(config.scalar_mem_path);
+  memsys_->SetPlacement(config.placement);
 
   // Fault plan: the run's own plan wins; otherwise the process-wide
   // --faultlab plan. A disabled plan attaches nothing — the no-fault run
@@ -84,7 +85,9 @@ SimContext::SimContext(const RunConfig& config)
     thp_ = std::make_unique<osmodel::ThpDaemon>(&engine_, memsys_.get());
     thp_->Start();
   }
-  if (config.autonuma) {
+  // Placement samples on the AutoNUMA hinting-fault hook, so enabling it
+  // implies the daemon even when stock numa_balancing is off.
+  if (config.autonuma || config.placement.enabled) {
     autonuma_ = std::make_unique<osmodel::AutoNuma>(&machine_, &engine_,
                                                     memsys_.get(), &sched_);
     autonuma_->Start();
@@ -142,6 +145,7 @@ void SimContext::Finish(RunResult* result) {
   result->pages_spilled = sys_.pages_spilled;
   result->oom_last_resort_pages = sys_.oom_last_resort_pages;
   result->offline_redirects = sys_.offline_redirects;
+  result->all_offline_binds = sys_.all_offline_binds;
   result->alloc_failures_injected = sys_.alloc_failures_injected;
   result->migration_failures_injected = sys_.migration_failures_injected;
 

@@ -38,6 +38,24 @@ class AllocOsTest : public ::testing::Test {
   mem::MemSystem memsys_;
 };
 
+// Baseline for the interleave-under-offline fix: with no faultlab attached
+// the rotation must stay the plain round-robin over every node, starting at
+// node 0 — the bit-identical contract the faultlab-side tests
+// (tests/faultlab_test.cc) compare against.
+TEST_F(AllocOsTest, InterleaveRoundRobinsAllNodesWithoutFaultlab) {
+  memsys_.os()->SetPolicy(mem::MemPolicy::kInterleave, 0);
+  mem::Region* r = memsys_.os()->Map(2 * 8 * mem::kSmallPageBytes,
+                                     /*thp_eligible=*/false);
+  ASSERT_EQ(r->pages.size(), 16u);
+  for (size_t i = 0; i < r->pages.size(); ++i) {
+    EXPECT_EQ(r->pages[i].node,
+              static_cast<int>(i % static_cast<size_t>(machine_.num_nodes())))
+        << "page " << i;
+  }
+  EXPECT_EQ(sys_.offline_redirects, 0u);
+  EXPECT_EQ(sys_.pages_spilled, 0u);
+}
+
 TEST_F(AllocOsTest, TbbmallocCachesLargeBlocks) {
   auto a = Make("tbbmalloc");
   RunAs(0, [&] {

@@ -165,6 +165,99 @@ TEST_F(FaultSpillTest, ExhaustedMachineBindsAnyway) {
   for (const auto& p : r->pages) EXPECT_GE(p.node, 0);
 }
 
+// Regression: interleave must rotate over *online* nodes only. The old
+// cursor rotated over all nodes, so with node 3 offline every 8th bind
+// targeted it and got rerouted by the spill walk — node 3's share landed
+// on whatever the zonelist picked (skewed placement) and offline_redirects
+// counted allocations that never should have considered the node.
+TEST_F(FaultSpillTest, InterleaveSkipsOfflineNodes) {
+  Build(topology::MachineA());
+  faultlab::FaultPlan plan;
+  plan.offline = {{/*node=*/3, /*at_cycle=*/0}};
+  faultlab::FaultLab fl(plan, 42, 0, &sys_);
+  memsys_->os()->SetFaultLab(&fl);
+  memsys_->os()->SetPolicy(mem::MemPolicy::kInterleave, 0);
+
+  mem::Region* r = memsys_->os()->Map(16 * mem::kSmallPageBytes,
+                                      /*thp_eligible=*/false);
+  std::vector<int> per_node(static_cast<size_t>(machine_.num_nodes()), 0);
+  for (const auto& p : r->pages) ++per_node[static_cast<size_t>(p.node)];
+  EXPECT_EQ(per_node[3], 0);  // the offline node is not a candidate at all
+  for (int n = 0; n < machine_.num_nodes(); ++n) {
+    if (n != 3) {
+      EXPECT_GE(per_node[static_cast<size_t>(n)], 2) << "node " << n;
+    }
+  }
+  // No bind ever *targeted* the offline node, so nothing was redirected.
+  EXPECT_EQ(sys_.offline_redirects, 0u);
+  EXPECT_EQ(sys_.pages_spilled, 0u);
+}
+
+// The bit-identical contract: attaching faultlab with no offline nodes must
+// leave the interleave rotation exactly as it is without faultlab.
+TEST_F(FaultSpillTest, InterleaveUnchangedWhenFaultlabHasNoOfflineNodes) {
+  Build(topology::MachineA());
+  memsys_->os()->SetPolicy(mem::MemPolicy::kInterleave, 0);
+  mem::Region* plain = memsys_->os()->Map(16 * mem::kSmallPageBytes,
+                                          /*thp_eligible=*/false);
+  std::vector<int> want;
+  for (const auto& p : plain->pages) want.push_back(p.node);
+
+  Build(topology::MachineA());
+  faultlab::FaultPlan plan;  // enabled-but-benign: capacity scale only
+  plan.capacity_scale = 1.0;
+  faultlab::FaultLab fl(plan, 42, 0, &sys_);
+  memsys_->os()->SetFaultLab(&fl);
+  memsys_->os()->SetPolicy(mem::MemPolicy::kInterleave, 0);
+  mem::Region* faulted = memsys_->os()->Map(16 * mem::kSmallPageBytes,
+                                            /*thp_eligible=*/false);
+  std::vector<int> got;
+  for (const auto& p : faulted->pages) got.push_back(p.node);
+  EXPECT_EQ(got, want);
+}
+
+// Regression: an offline preferred node with every online node full is a
+// *redirect* (the kernel would never have allocated on the offline node),
+// not an OOM last-resort bind — the old code counted it as the latter and
+// returned the offline node.
+TEST_F(FaultSpillTest, OfflineDesiredWithFullMachineCountsRedirectNotOom) {
+  Build(topology::MachineA());
+  faultlab::FaultPlan plan;
+  plan.node_capacity_bytes = mem::kSmallPageBytes;  // one page per node
+  plan.offline = {{/*node=*/0, /*at_cycle=*/0}};
+  faultlab::FaultLab fl(plan, 42, 0, &sys_);
+  memsys_->os()->SetFaultLab(&fl);
+  memsys_->os()->SetPolicy(mem::MemPolicy::kPreferred, 0);
+
+  // 7 online nodes x 1 page fill the machine; 3 more overcommit.
+  mem::Region* r = memsys_->os()->Map(10 * mem::kSmallPageBytes,
+                                      /*thp_eligible=*/false);
+  for (const auto& p : r->pages) EXPECT_NE(p.node, 0);  // never offline
+  EXPECT_EQ(sys_.offline_redirects, 10u);
+  EXPECT_EQ(sys_.oom_last_resort_pages, 0u);
+}
+
+// When the whole machine is offline there is no online node to redirect to;
+// the bind keeps the desired node and the dedicated counter surfaces the
+// degradation (the old code returned the offline node silently).
+TEST_F(FaultSpillTest, AllNodesOfflineSurfacesDegradationCounter) {
+  Build(topology::MachineA());
+  faultlab::FaultPlan plan;
+  for (int n = 0; n < machine_.num_nodes(); ++n) {
+    plan.offline.push_back({n, /*at_cycle=*/0});
+  }
+  faultlab::FaultLab fl(plan, 42, 0, &sys_);
+  memsys_->os()->SetFaultLab(&fl);
+  memsys_->os()->SetPolicy(mem::MemPolicy::kPreferred, 2);
+
+  mem::Region* r = memsys_->os()->Map(4 * mem::kSmallPageBytes,
+                                      /*thp_eligible=*/false);
+  for (const auto& p : r->pages) EXPECT_EQ(p.node, 2);
+  EXPECT_EQ(sys_.all_offline_binds, 4u);
+  EXPECT_EQ(sys_.offline_redirects, 0u);
+  EXPECT_EQ(sys_.oom_last_resort_pages, 0u);
+}
+
 TEST_F(FaultSpillTest, OfflineNodeRedirectsBinds) {
   Build(topology::MachineA());
   faultlab::FaultPlan plan;

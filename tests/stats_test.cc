@@ -85,6 +85,27 @@ TEST(HistogramTest, BucketGeometry) {
   }
 }
 
+// Regression: BucketWidth(64) used to return 2^63 - 1 via a `b == 64`
+// special case, but bucket 64 spans [2^63, 2^64-1] — exactly 2^63 distinct
+// values, which fits in a uint64_t. Every bucket's width must equal its
+// inclusive span, and widths (bucket 0 plus the 64 power buckets) must
+// tile the whole uint64_t range.
+TEST(HistogramTest, BucketWidthCountsBucket64Exactly) {
+  EXPECT_EQ(Histogram::BucketWidth(64), uint64_t{1} << 63);
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::BucketWidth(b),
+              Histogram::BucketHi(b) - Histogram::BucketLo(b) + 1)
+        << "b=" << b;
+  }
+  // Bucket 0 holds {0}; bucket b>0 holds [2^(b-1), 2^b - 1]. Summed, the
+  // widths cover all 2^64 values (the sum wraps to exactly 0 mod 2^64).
+  uint64_t sum = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    sum += Histogram::BucketWidth(b);
+  }
+  EXPECT_EQ(sum, 0u);
+}
+
 TEST(HistogramTest, EmptyAndDegenerate) {
   Histogram h;
   EXPECT_TRUE(h.empty());

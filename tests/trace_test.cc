@@ -231,7 +231,7 @@ const char kC2[] =
 
 TEST(TraceJson, BenchJsonGolden) {
   std::string expected = std::string() +
-      "{\"schema_version\":2,\n"
+      "{\"schema_version\":3,\n"
       " \"bench\":\"golden\",\n"
       " \"runs\":[\n"
       "    {\"id\":0,\"workload\":\"Wx\",\n"
@@ -241,16 +241,21 @@ TEST(TraceJson, BenchJsonGolden) {
       "\"dataset\":\"MovingCluster\",\"num_records\":8000000,"
       "\"cardinality\":80000,\"build_rows\":250000,\"probe_rows\":4000000,"
       "\"seed\":7,\"run_index\":0,\"quantum\":4000,\"scalar_mem_path\":false,"
-      "\"deadline_cycles\":0},\n"
+      "\"deadline_cycles\":0,\"placement\":false},\n"
       "     \"status\":\"OK\",\n"
       "     \"cycles\":100,\"aux_cycles\":5,\"checksum\":42,\"lar\":0.75,\n"
       "     \"requested_peak\":1000,\"resident_peak\":2000,\"races\":0,\n"
       "     \"counters\":" + kC1 + ",\n"
       "     \"system\":{\"page_migrations\":0,\"thp_collapses\":0,"
       "\"thp_splits\":0,\"pages_mapped\":0,\"bytes_mapped\":0,"
-      "\"bytes_mapped_peak\":0,\"balancer_migrations\":0},\n"
+      "\"bytes_mapped_peak\":0,\"balancer_migrations\":0,\n"
+      "      \"pages_replicated\":0,\"replica_reads\":0,"
+      "\"replica_writes\":0,\"replica_invalidations\":0,"
+      "\"replica_drops\":0,\"replica_bytes_peak\":0,"
+      "\"migrations_vetoed\":0,\"capacity_bytes_total\":0},\n"
       "     \"degradation\":{\"pages_spilled\":0,\"oom_last_resort_pages\":0,"
-      "\"offline_redirects\":0,\"alloc_failures_injected\":0,"
+      "\"offline_redirects\":0,\"all_offline_binds\":0,"
+      "\"alloc_failures_injected\":0,"
       "\"migration_failures_injected\":0},\n"
       "     \"threads\":[\n"
       "      {\"id\":0,\"name\":\"w0\",\"node\":0,\"counters\":" + kC1 +
@@ -268,7 +273,7 @@ TEST(TraceJson, BenchJsonGolden) {
 
 TEST(TraceJson, EmptyRunListStillWellFormed) {
   EXPECT_EQ(BenchJson("empty", {}),
-            "{\"schema_version\":2,\n \"bench\":\"empty\",\n \"runs\":[]}\n");
+            "{\"schema_version\":3,\n \"bench\":\"empty\",\n \"runs\":[]}\n");
 }
 
 TEST(TraceJson, StringsAreEscaped) {
