@@ -21,6 +21,15 @@
 #      bench itself exits 1 unless the adaptive cell dominates every static
 #      policy and stock AutoNUMA on p99 AND local-access ratio), plus the
 #      same schema + same-seed JSON determinism checks as stage 8
+#  10. static determinism + lock-contract gate: detlint must scan the whole
+#      tree clean (modulo tools/detlint/baseline.txt), must reject every
+#      bad fixture in tools/detlint/testdata/ (proving the gate can fail),
+#      and — when clang++ is on PATH — src/sanity/thread_safety_check.cc
+#      must compile under -Wthread-safety -Werror=thread-safety, machine-
+#      checking the SimMutex/VirtualLock capability annotations
+#
+# Stages 1 and 3 build with -DNUMALAB_WERROR=ON: compiler warnings are
+# errors in the gate (but not in a developer's plain ./build).
 #
 # Exits non-zero on the first failing stage. Build trees are kept under
 # build-check-* so they never collide with a developer's ./build.
@@ -37,20 +46,21 @@ run() {
   fi
 }
 
-echo "==== stage 1/9: plain build + ctest ===="
-run cmake -B build-check -S . -G Ninja
+echo "==== stage 1/10: plain build + ctest ===="
+run cmake -B build-check -S . -G Ninja -DNUMALAB_WERROR=ON
 run cmake --build build-check
 run ctest --test-dir build-check --output-on-failure
 
-echo "==== stage 2/9: address,undefined sanitizers + ctest ===="
+echo "==== stage 2/10: address,undefined sanitizers + ctest ===="
 run cmake -B build-check-asan -S . -G Ninja \
     -DNUMALAB_SANITIZE=address,undefined
 run cmake --build build-check-asan
 run ctest --test-dir build-check-asan --output-on-failure
 
-echo "==== stage 3/9: clang-tidy build ===="
+echo "==== stage 3/10: clang-tidy build ===="
 if command -v clang-tidy >/dev/null 2>&1; then
-  run cmake -B build-check-tidy -S . -G Ninja -DNUMALAB_CLANG_TIDY=ON
+  run cmake -B build-check-tidy -S . -G Ninja -DNUMALAB_CLANG_TIDY=ON \
+      -DNUMALAB_WERROR=ON
   run cmake --build build-check-tidy
 else
   echo "check.sh: NOTICE: clang-tidy not found on PATH; skipping stage 3." \
@@ -58,12 +68,12 @@ else
        "full gate."
 fi
 
-echo "==== stage 4/9: race-detector clean bench run ===="
+echo "==== stage 4/10: race-detector clean bench run ===="
 # Reuses the plain stage-1 build; every bench runs with --race-detect=1 and
 # any report makes the binary (and therefore run_benches.sh) exit non-zero.
 run env BUILD_DIR=build-check RACE_DETECT=1 ./run_benches.sh
 
-echo "==== stage 5/9: no-fault bench stdout vs committed golden ===="
+echo "==== stage 5/10: no-fault bench stdout vs committed golden ===="
 # The faultlab zero-cost contract: with no fault plan installed, the whole
 # bench suite must produce byte-identical stdout to the committed golden.
 # Any drift means the no-fault path changed behaviour.
@@ -77,13 +87,13 @@ if [[ $rc -ne 0 ]]; then
 fi
 run cmp bench/golden/run_benches.stdout build-check/run_benches.stdout
 
-echo "==== stage 6/9: fault-injection bench run (FAULTLAB=1) ===="
+echo "==== stage 6/10: fault-injection bench run (FAULTLAB=1) ===="
 # Every bench plus the faultlab pressure grid runs under the canned
 # per-node memory-pressure plan; every cell must degrade gracefully
 # (spill, not crash) and the suite must exit 0.
 run env BUILD_DIR=build-check FAULTLAB=1 ./run_benches.sh
 
-echo "==== stage 7/9: structured-export schema + determinism ===="
+echo "==== stage 7/10: structured-export schema + determinism ===="
 # Schema-validate everything stage 5 exported, then run the suite a second
 # time: same seeds, so the merged JSON must be byte-identical — the export
 # determinism contract (no wall time, no pointers, no hash order).
@@ -99,7 +109,7 @@ run env BUILD_DIR=build-check JSON_OUT_DIR=build-check/json-b \
 run cmp build-check/json-a/BENCH_results.json \
     build-check/json-b/BENCH_results.json
 
-echo "==== stage 8/9: serving determinism + schema ===="
+echo "==== stage 8/10: serving determinism + schema ===="
 # The serving layer's own contract: byte-identical stdout vs the committed
 # golden, schema-valid "serving" JSON sections, and two same-seed
 # --json-out runs producing byte-identical documents. (Stage 5 already
@@ -123,7 +133,7 @@ run ./build-check/bench/bench_serving --json-out=build-check/serving-b.json \
     > /dev/null
 run cmp build-check/serving-a.json build-check/serving-b.json
 
-echo "==== stage 9/9: placement dominance + determinism ===="
+echo "==== stage 9/10: placement dominance + determinism ===="
 # The adaptive-placement contract: bench_placement's own self-check (exit 1
 # unless placement beats first-touch/interleave/preferred AND stock
 # AutoNUMA on both p99 sojourn and LAR, with replication actually firing),
@@ -147,5 +157,43 @@ fi
 run ./build-check/bench/bench_placement \
     --json-out=build-check/placement-b.json > /dev/null
 run cmp build-check/placement-a.json build-check/placement-b.json
+
+echo "==== stage 10/10: detlint + thread-safety analysis ===="
+# Static half of the determinism contract (the dynamic half is the
+# same-seed byte-diffs above). detlint ships in the stage-1 build tree.
+DETLINT=build-check/tools/detlint/detlint
+if [[ ! -x $DETLINT ]]; then
+  echo "check.sh: FAIL: $DETLINT missing from the stage-1 build" >&2
+  exit 1
+fi
+# 10a: the whole tree must scan clean, modulo the checked-in baseline.
+run "$DETLINT" --root=. --baseline=tools/detlint/baseline.txt \
+    src bench tests examples
+# 10b: the gate must be able to fail — every bad fixture must be rejected.
+for fixture in tools/detlint/testdata/bad_*.cc; do
+  echo "check.sh: $DETLINT --root=. $fixture (expect nonzero)"
+  if "$DETLINT" --root=. "$fixture" > /dev/null; then
+    echo "check.sh: FAIL: detlint accepted $fixture" >&2
+    exit 1
+  fi
+done
+# 10c: the compile_commands.json route (what clang-tidy shares) must agree
+# that the built TUs are clean.
+run "$DETLINT" --root=. --baseline=tools/detlint/baseline.txt \
+    --compile-commands=build-check/compile_commands.json
+# 10d: clang thread-safety analysis over the annotated lock surfaces
+# (SimMutex, VirtualLock, Env::LockAcquired/LockReleased, the GUARDED_BY
+# probe members). GCC compiles the same macros as no-ops, so this is the
+# only place the annotations are actually checked.
+if command -v clang++ >/dev/null 2>&1; then
+  run clang++ -std=c++20 -fsyntax-only -I. \
+      -Wthread-safety -Werror=thread-safety \
+      src/sanity/thread_safety_check.cc
+else
+  echo "check.sh: NOTICE: clang++ not found on PATH; skipping the" \
+       "thread-safety analysis pass (the annotations still compiled as" \
+       "no-op macros in stages 1-2). Install clang (or run in the" \
+       "analysis container) for the full gate."
+fi
 
 echo "check.sh: all stages passed"

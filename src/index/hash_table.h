@@ -7,6 +7,17 @@
 // memory comes from the run's simulated allocator, and every pointer chase
 // is charged through Env — the table is the workloads' main source of both
 // allocation pressure and NUMA traffic.
+//
+// Lock contract (machine-checked): every mutation happens between
+// Env::LockAcquired(&stripe) and Env::LockReleased(&stripe) on the stripe
+// owning the bucket. Those hooks carry clang thread-safety annotations
+// (src/common/thread_annotations.h), so an unbalanced path — say an early
+// return that forgets the release — fails -Werror=thread-safety in
+// check.sh stage 10, and the same pair feeds the dynamic race detector its
+// happens-before edge. Find()/ForEachInBuckets() are lock-free BY DESIGN:
+// they are only legal in probe/merge phases that a barrier separates from
+// all writers (the race detector checks that phase discipline dynamically;
+// no static annotation expresses it).
 
 #ifndef NUMALAB_INDEX_HASH_TABLE_H_
 #define NUMALAB_INDEX_HASH_TABLE_H_

@@ -38,6 +38,13 @@ struct PageRec {
   // Adaptive placement state (src/mem/placement.h); all zero and never
   // read while placement is disabled. Only non-huge pages ever carry a
   // replica_mask: THP collapse refuses replicated members.
+  //
+  // Lock contract (DESIGN.md section 13): the replica table — these
+  // fields plus SimOS's per-node replica accounting — is engine-
+  // serialized: mutated only from AccessPage/AddReplica/DropReplicas on
+  // the single host thread driving the engine, so it carries no
+  // capability annotation; simulated-thread interleavings cannot race it
+  // by construction.
   uint8_t replica_mask = 0;     ///< nodes holding a read replica (bit=node)
   uint8_t reads = 0;            ///< sampled reads (saturating, wave-decayed)
   uint8_t writes = 0;           ///< sampled writes (saturating, wave-decayed)

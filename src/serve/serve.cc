@@ -65,6 +65,18 @@ struct Request {
 /// arrival *events* (exogenous clients; their writes model NIC DMA and are
 /// not charged to any server thread); consumers are worker coroutines that
 /// serialize on the VirtualLock and charge their slot reads/writes.
+///
+/// Lock contract: `lock` guards the consumer side — a worker may pop
+/// (advance `head`, read `slots`) only between Env::LockAcquired(&lock)
+/// and Env::LockReleased(&lock), which clang's thread-safety analysis
+/// checks for balance (see src/common/thread_annotations.h). Two accesses
+/// are intentionally outside the lock and are sound only because the
+/// engine serializes everything on one host thread in virtual-time order:
+///  * the producer SubmitRequest writes `slots`/`tail` from event context
+///    (exogenous NIC-DMA model; events never interleave with a worker's
+///    critical section), and
+///  * depth() and the batch-window head peek are unlocked reads used as a
+///    scheduling hint; the pop that follows re-reads under the lock.
 struct NodeQueue {
   uint32_t* slots = nullptr;
   uint64_t head = 0;

@@ -21,6 +21,7 @@
 #include <deque>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/sanity/race_detector.h"
 #include "src/sim/engine.h"
 
@@ -33,7 +34,14 @@ inline constexpr uint64_t kLockAcquireCycles = 24;
 inline constexpr uint64_t kLockHandoffCycles = 120;
 
 /// \brief A mutex for virtual threads. FIFO wake-up, deterministic.
-class SimMutex {
+///
+/// A capability for clang's thread-safety analysis: `co_await m.Lock()`
+/// acquires, `m.Unlock()` releases, and every path between them must
+/// balance. The acquisition really completes inside the co_await (the
+/// awaiter may suspend), but on the single host thread the caller observes
+/// the lock as held from the Lock() call on, which is what the annotation
+/// states.
+class NUMALAB_CAPABILITY("SimMutex") SimMutex {
  public:
   explicit SimMutex(Engine* engine) : engine_(engine) {}
 
@@ -72,11 +80,13 @@ class SimMutex {
   };
 
   /// co_await m.Lock();
-  LockAwaiter Lock() { return LockAwaiter{this}; }
+  LockAwaiter Lock() NUMALAB_ACQUIRE() NUMALAB_NO_THREAD_SAFETY_ANALYSIS {
+    return LockAwaiter{this};
+  }
 
   /// Releases the lock at the caller's current clock; the longest-waiting
   /// thread (if any) is woken after a cache-line handoff delay.
-  void Unlock() {
+  void Unlock() NUMALAB_RELEASE() NUMALAB_NO_THREAD_SAFETY_ANALYSIS {
     VThread* vt = engine_->current();
     if (sanity::RaceDetector* rd = engine_->race()) {
       rd->OnRelease(vt->id, this);  // before any waiter can acquire
@@ -155,7 +165,15 @@ class SimBarrier {
 };
 
 /// \brief Analytical (non-suspending) lock; see file comment.
-struct VirtualLock {
+///
+/// A capability for clang's thread-safety analysis. Acquire() itself is
+/// only the *timing* model (it reserves the lock on the virtual time line
+/// and returns the queueing delay to charge); the critical section — the
+/// span other threads' conflicting accesses must be ordered against — is
+/// marked by the Env::LockAcquired / Env::LockReleased pair, which carry
+/// the NUMALAB_ACQUIRE/NUMALAB_RELEASE annotations and feed the dynamic
+/// race detector the same happens-before edge.
+struct NUMALAB_CAPABILITY("VirtualLock") VirtualLock {
   uint64_t free_at = 0;
   uint64_t contended_acquires = 0;
   uint64_t total_acquires = 0;

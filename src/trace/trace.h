@@ -20,6 +20,14 @@
 // never charges virtual time: attaching it cannot change simulated
 // results, which is what lets the JSON export run under the byte-identical
 // golden-stdout gate.
+//
+// Lock contract (DESIGN.md section 13): the recorder is engine-serialized.
+// Begin/End run only from coroutine bodies on the single host thread that
+// drives the engine, so records_/open_ need no capability — there is no
+// lock to annotate, and the dynamic race detector does not apply (these
+// are host-side structures, not simulated memory). Spans are appended in
+// Begin order and exported by vector walk, never by hash iteration, which
+// is what keeps the export deterministic (and detlint-clean).
 
 #ifndef NUMALAB_TRACE_TRACE_H_
 #define NUMALAB_TRACE_TRACE_H_

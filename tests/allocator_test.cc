@@ -47,6 +47,9 @@ class AllocatorTest : public ::testing::TestWithParam<const char*> {
 TEST_P(AllocatorTest, LiveObjectsNeverOverlap) {
   RunAs(0, [&] {
     Rng rng(7);
+    // The overlap check walks neighbors in address order on purpose, and
+    // nothing derived from that order is asserted on or exported.
+    // NOLINT-DET(pointer-order): address-ordered bookkeeping is the point
     std::map<char*, size_t> live;  // base -> size
     for (int op = 0; op < 20000; ++op) {
       if (live.size() < 512 && (live.empty() || rng.Bernoulli(0.55))) {
@@ -55,7 +58,9 @@ TEST_P(AllocatorTest, LiveObjectsNeverOverlap) {
         ASSERT_NE(p, nullptr);
         // Check against neighbors in address order.
         auto next = live.lower_bound(p);
-        if (next != live.end()) ASSERT_LE(p + n, next->first);
+        if (next != live.end()) {
+          ASSERT_LE(p + n, next->first);
+        }
         if (next != live.begin()) {
           auto prev = std::prev(next);
           ASSERT_LE(prev->first + prev->second, p);
@@ -102,6 +107,7 @@ TEST_P(AllocatorTest, FreedMemoryIsReused) {
   // property is: alloc/free churn must recycle *some* address rather than
   // consuming fresh memory forever.
   RunAs(0, [&] {
+    // NOLINT-DET(pointer-order): membership-only set, order never observed
     std::set<void*> seen;
     bool reused = false;
     for (int i = 0; i < 200 && !reused; ++i) {

@@ -1,0 +1,25 @@
+// Fixture: malformed NOLINT-DET comments detlint must flag (nolint-format),
+// while the underlying finding still reports (a broken suppression must not
+// silently suppress). NOT part of any build.
+
+#include <cstdint>
+
+namespace fixture {
+
+long A() {
+  return time(nullptr);  // NOLINT-DET missing the rule list entirely
+}
+
+long B() {
+  return time(nullptr);  // NOLINT-DET(wall-clock) missing the reason
+}
+
+long C() {
+  return time(nullptr);  // NOLINT-DET(not-a-rule): unknown rule id
+}
+
+long D() {
+  return time(nullptr);  // NOLINT-DET(): empty rule list
+}
+
+}  // namespace fixture

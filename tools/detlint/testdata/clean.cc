@@ -1,0 +1,53 @@
+// Fixture: determinism-safe code, including hazard names inside comments
+// and string literals which the tokenizer must NOT flag. detlint must
+// report zero findings. NOT part of any build.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Comments may talk about std::chrono, rand(), std::random_device and
+// time() freely — prose is not code.
+/* Block comments mentioning mt19937 and %p are fine too. */
+
+const char* kMessage =
+    "strings mentioning time(), rand() and std::chrono are data, not code";
+
+// Find/erase on an unordered map without iterating it is fine.
+uint64_t Lookup(const std::unordered_map<std::string, uint64_t>& table,
+                const std::string& key) {
+  auto it = table.find(key);
+  return it == table.end() ? 0 : it->second;
+}
+
+// Sorted export: keys are copied out and ordered before any output.
+std::vector<std::string> SortedKeys(
+    const std::unordered_map<std::string, uint64_t>& table) {
+  std::vector<std::string> keys;
+  keys.reserve(table.size());
+  // NOLINT-DET(unordered-iter): keys are sorted below before any consumer
+  for (const auto& [key, value] : table) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Ordered map keyed by a value type: deterministic iteration.
+uint64_t SumOrdered(const std::map<std::string, uint64_t>& ordered) {
+  uint64_t total = 0;
+  for (const auto& [key, value] : ordered) total += value;
+  return total;
+}
+
+// Sequential float reduction over a vector is deterministic.
+double Mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: every hazard correctly suppressed — detlint must report zero
+// findings here and count the suppressions. NOT part of any build.
+
+#include <cstdint>
+#include <map>
+
+namespace fixture {
+
+long SameLine() {
+  return time(nullptr);  // NOLINT-DET(wall-clock): fixture exercises same-line suppression
+}
+
+long LineAbove() {
+  // NOLINT-DET(wall-clock): fixture exercises line-above suppression
+  return time(nullptr);
+}
+
+long Wildcard() {
+  return time(nullptr);  // NOLINT-DET(*): fixture exercises wildcard suppression
+}
+
+struct Node {
+  int id;
+};
+
+// NOLINT-DET(pointer-order): fixture exercises multi-rule suppression lists
+std::map<Node*, int> ranks;
+
+long MultiRule() {
+  // NOLINT-DET(wall-clock, host-rand): fixture exercises comma-separated rules
+  return time(nullptr) + rand();
+}
+
+}  // namespace fixture
