@@ -1,0 +1,39 @@
+#!/bin/bash
+# One bench cell for run_benches.sh: runs CMD with stdout/stderr spooled to
+# files and, after CMD exits *on its own*, records its real exit status and
+# host-side elapsed seconds in STATUS_FILE.
+#
+#   parallel_run.sh STATUS_FILE STDOUT_FILE STDERR_FILE CMD [ARGS...]
+#
+# The status file doubles as the watchdog sentinel. run_benches.sh wraps
+# this script (not the bench) in timeout(1); when the watchdog fires,
+# timeout signals the whole process group, so this script dies *before*
+# writing STATUS_FILE. The harness therefore classifies:
+#
+#   status file present  -> CMD exited by itself; the recorded status is the
+#                           bench's own (an exit code of 124 is a plain
+#                           bench failure, not a timeout)
+#   status file missing  -> the watchdog killed the cell: a real timeout
+#
+# This is what fixes the old harness bug where any bench legitimately
+# exiting 124 was misreported as timed out.
+#
+# The elapsed time is host wall-clock and exists only for harness timing
+# reports (BENCH_TIMING_OUT); it never touches bench stdout or the JSON
+# exports, so the bit-determinism contract is unaffected.
+set -u
+if [[ $# -lt 4 ]]; then
+  echo "usage: parallel_run.sh STATUS_FILE STDOUT_FILE STDERR_FILE CMD [ARGS...]" >&2
+  exit 2
+fi
+status_file=$1
+out_file=$2
+err_file=$3
+shift 3
+start=$EPOCHREALTIME
+"$@" > "$out_file" 2> "$err_file"
+rc=$?
+end=$EPOCHREALTIME
+elapsed=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+printf '%s %s\n' "$rc" "$elapsed" > "$status_file"
+exit "$rc"

@@ -205,20 +205,57 @@ def check_bench(doc, where):
         check_run(run, f"{where}.runs[{i}]")
 
 
+FAILURE_KEYS = {"bench", "kind", "status"}
+FAILURE_KINDS = {"exit", "timeout", "missing", "no-export", "no-status"}
+
+
+def check_merged(doc, path):
+    """A merged document must be *complete*: its bench list must match the
+    roster run_benches.sh intended to run, exactly and in order, and no cell
+    may have failed. A crashed bench therefore can never hide behind a
+    schema-valid partial merge — the harness records the failure and this
+    check rejects the document."""
+    check_keys(doc, {"schema_version", "roster", "failures", "benches"}, path)
+    require(doc["schema_version"] == SCHEMA_VERSION, path,
+            f"schema_version {doc['schema_version']} != {SCHEMA_VERSION}")
+    roster = doc["roster"]
+    require(isinstance(roster, list) and roster and
+            all(isinstance(b, str) and b for b in roster),
+            f"{path}.roster", "expected a non-empty list of bench names")
+    require(len(set(roster)) == len(roster), f"{path}.roster",
+            "duplicate bench in roster")
+    for i, fail in enumerate(doc["failures"]):
+        fw = f"{path}.failures[{i}]"
+        check_keys(fail, FAILURE_KEYS, fw)
+        require(fail["bench"] in roster, fw,
+                f"failed bench {fail['bench']!r} not in roster")
+        require(fail["kind"] in FAILURE_KINDS, fw,
+                f"unknown failure kind {fail['kind']!r}")
+        require(isinstance(fail["status"], int), fw,
+                "status: expected an integer")
+    names = []
+    for i, bench in enumerate(doc["benches"]):
+        check_bench(bench, f"{path}.benches[{i}]")
+        require(bench["bench"] not in names, f"{path}.benches[{i}]",
+                f"duplicate bench {bench['bench']!r}")
+        names.append(bench["bench"])
+    require(names == [b for b in roster
+                      if b not in {f["bench"] for f in doc["failures"]}],
+            path, "bench list does not match the roster "
+            f"(roster {roster}, merged {names})")
+    if doc["failures"]:
+        failed = ", ".join(f"{f['bench']} ({f['kind']}, status {f['status']})"
+                           for f in doc["failures"])
+        raise Invalid(f"{path}: merge is partial — "
+                      f"{len(doc['failures'])} failed cell(s): {failed}")
+    return sum(len(b["runs"]) for b in doc["benches"])
+
+
 def check_file(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     if "benches" in doc:  # merged document
-        check_keys(doc, {"schema_version", "benches"}, path)
-        require(doc["schema_version"] == SCHEMA_VERSION, path,
-                f"schema_version {doc['schema_version']} != {SCHEMA_VERSION}")
-        names = set()
-        for i, bench in enumerate(doc["benches"]):
-            check_bench(bench, f"{path}.benches[{i}]")
-            require(bench["bench"] not in names, f"{path}.benches[{i}]",
-                    f"duplicate bench {bench['bench']!r}")
-            names.add(bench["bench"])
-        return sum(len(b["runs"]) for b in doc["benches"])
+        return check_merged(doc, path)
     check_bench(doc, path)
     return len(doc["runs"])
 

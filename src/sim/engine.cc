@@ -26,8 +26,7 @@ Engine::~Engine() {
   }
 }
 
-VThread* Engine::Spawn(const std::string& name, int hw_thread,
-                       const std::function<Task(VThread*)>& factory) {
+VThread* Engine::CreateThread(const std::string& name, int hw_thread) {
   auto vt = std::make_unique<VThread>();
   vt->id = static_cast<int>(threads_.size());
   vt->name = name;
@@ -43,8 +42,10 @@ VThread* Engine::Spawn(const std::string& name, int hw_thread,
     race_->OnThreadStart(raw->id, name, current_ != nullptr ? current_->id
                                                             : -1);
   }
+  return raw;
+}
 
-  Task task = factory(raw);
+void Engine::AttachBody(VThread* raw, Task task) {
   NUMALAB_CHECK(task.handle);
   task.handle.promise().engine = this;
   task.handle.promise().vt = raw;
@@ -52,10 +53,9 @@ VThread* Engine::Spawn(const std::string& name, int hw_thread,
   raw->state = VThreadState::kReady;
   ++live_;
   ready_.push(raw);
-  return raw;
 }
 
-void Engine::ScheduleEvent(uint64_t when, std::function<void()> fn) {
+void Engine::ScheduleEvent(uint64_t when, EventCallback fn) {
   events_.push(Event{when, event_seq_++, std::move(fn)});
 }
 
@@ -113,9 +113,19 @@ uint64_t Engine::Run() {
         // simulated program (e.g. a SimMutex never unlocked).
         NUMALAB_CHECK(false && "simulated deadlock: all threads blocked");
       }
-      Event ev = events_.top();
-      events_.pop();
-      ev.fn();
+      // Batch-drain every event due before the next thread resume without
+      // re-entering the outer loop. next_ready is recomputed after each
+      // callback (a callback may wake a thread behind the next event), and
+      // an armed deadline hands control back to the watchdog logic above —
+      // the drain order is exactly the (when, seq) order the serial loop
+      // produced, so simulated output is bit-identical.
+      do {
+        Event ev = std::move(const_cast<Event&>(events_.top()));
+        events_.pop();
+        ev.fn();
+        next_ready = ready_.empty() ? UINT64_MAX : ready_.top()->clock;
+      } while (!events_.empty() && events_.top().when <= next_ready &&
+               (deadline_ == 0 || events_.top().when <= deadline_));
       continue;
     }
 

@@ -37,10 +37,12 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
 #include "src/perf/counters.h"
+#include "src/sim/event_callback.h"
 
 namespace numalab {
 namespace sanity {
@@ -62,6 +64,18 @@ class Task {
     Engine* engine = nullptr;
     VThread* vt = nullptr;
 
+    // Coroutine frames are the per-spawn host allocation: benches build
+    // thousands of short-lived engines, each spawning tens of threads.
+    // Route frames through the engine free-list pool so completed frames
+    // are recycled instead of round-tripping malloc. Purely a host-side
+    // optimization; simulated output is unaffected.
+    static void* operator new(size_t size) {
+      return FreeListPool::Allocate(size);
+    }
+    static void operator delete(void* p, size_t size) {
+      FreeListPool::Deallocate(p, size);
+    }
+
     Task get_return_object() {
       return Task(std::coroutine_handle<promise_type>::from_promise(*this));
     }
@@ -82,8 +96,10 @@ class Task {
 /// \brief State of a virtual thread.
 enum class VThreadState { kReady, kRunning, kBlocked, kDone };
 
-/// \brief A simulated software thread.
-struct VThread {
+/// \brief A simulated software thread. Inherits pooled operator new/delete:
+/// VThread objects are recycled across engines by the same free-list pool
+/// as coroutine frames.
+struct VThread : PooledNew {
   int id = -1;
   std::string name;
   uint64_t clock = 0;          ///< virtual cycle counter
@@ -127,13 +143,21 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Creates a virtual thread. `factory` is invoked with the new VThread and
-  /// must return the coroutine that implements the thread body.
-  VThread* Spawn(const std::string& name, int hw_thread,
-                 const std::function<Task(VThread*)>& factory);
+  /// must return the coroutine that implements the thread body. Templated so
+  /// the factory is called directly — no std::function materialization on
+  /// the spawn path.
+  template <typename Factory>
+  VThread* Spawn(const std::string& name, int hw_thread, Factory&& factory) {
+    VThread* vt = CreateThread(name, hw_thread);
+    AttachBody(vt, std::forward<Factory>(factory)(vt));
+    return vt;
+  }
 
   /// Schedules `fn` at absolute virtual time `when`. Events fire interleaved
   /// with threads in virtual-time order, but only while live threads remain.
-  void ScheduleEvent(uint64_t when, std::function<void()> fn);
+  /// The callback is stored inline in the event (EventCallback): capture
+  /// lists that would force a heap allocation fail to compile.
+  void ScheduleEvent(uint64_t when, EventCallback fn);
 
   /// Runs until every spawned thread has completed, or until every live
   /// thread's clock has passed the deadline (see SetDeadline). Returns the
@@ -207,8 +231,10 @@ class Engine {
   struct Event {
     uint64_t when;
     uint64_t seq;
-    std::function<void()> fn;
+    EventCallback fn;
   };
+  static_assert(sizeof(Event) <= 128,
+                "Event outgrew two cache lines; check EventCallback storage");
   struct EventCmp {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return a.when > b.when;
@@ -217,6 +243,11 @@ class Engine {
   };
 
   void MakeReady(VThread* vt);
+  /// Non-template halves of Spawn: allocate/register the VThread (fork edge
+  /// fires before the body is constructed, as before), then bind the
+  /// coroutine handle and queue the thread ready.
+  VThread* CreateThread(const std::string& name, int hw_thread);
+  void AttachBody(VThread* vt, Task task);
 
   uint64_t quantum_;
   std::vector<std::unique_ptr<VThread>> threads_;

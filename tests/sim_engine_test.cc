@@ -64,6 +64,89 @@ TEST(Engine, EventsFireInTimeOrder) {
   EXPECT_EQ(fired[1], 2);
 }
 
+TEST(Engine, SameTimestampEventsDrainInSeqOrder) {
+  // The batched event drain (engine.cc) pops every event due before the
+  // next thread resume in one inner loop, including events scheduled *by*
+  // a draining event at the same timestamp: (when, seq) order must be
+  // exactly what the serial one-event-per-outer-iteration loop produced.
+  Engine e(/*quantum=*/100);
+  std::vector<int> order;
+  e.ScheduleEvent(100, [&] {
+    order.push_back(1);
+    e.ScheduleEvent(100, [&] { order.push_back(3); });
+  });
+  e.ScheduleEvent(100, [&] { order.push_back(2); });
+  e.Spawn("w", 0, [&](VThread* vt) {
+    return ChargeNTimes(vt, &e, 300, 3, &order, 7);
+  });
+  e.Run();
+  // Thread runs its first step (clock 0 -> 300), then all three events at
+  // t=100 drain in seq order, then the remaining thread steps.
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order[0], 7);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+  EXPECT_EQ(order[3], 3);
+  EXPECT_EQ(order[4], 7);
+  EXPECT_EQ(order[5], 7);
+}
+
+struct BlockAwaiter {
+  Engine* e;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) noexcept { e->BlockCurrent(); }
+  void await_resume() const noexcept {}
+};
+
+Task BlockThenRecord(VThread* vt, Engine* e, std::vector<int>* order,
+                     int tag) {
+  (void)vt;
+  co_await BlockAwaiter{e};
+  order->push_back(tag);
+}
+
+TEST(Engine, EventWakingLaggingThreadPreemptsLaterEvents) {
+  // An event callback may wake a thread whose clock lands *behind* the next
+  // queued event; the drain loop must hand control back to that thread
+  // before firing the later event, exactly like the old outer loop did.
+  Engine e(/*quantum=*/50);
+  std::vector<int> order;
+  VThread* blocked = e.Spawn("blocked", 0, [&](VThread* vt) {
+    return BlockThenRecord(vt, &e, &order, 9);
+  });
+  e.Spawn("runner", 1, [&](VThread* vt) {
+    return ChargeNTimes(vt, &e, 60, 3, &order, 7);
+  });
+  e.ScheduleEvent(100, [&] {
+    order.push_back(1);
+    e.Wake(blocked, 50);  // woken clock 50: behind the next event at 100
+  });
+  e.ScheduleEvent(100, [&] { order.push_back(2); });
+  e.Run();
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order[0], 7);  // runner 0 -> 60
+  EXPECT_EQ(order[1], 7);  // runner 60 -> 120
+  EXPECT_EQ(order[2], 1);  // first event at t=100 wakes `blocked` at 50
+  EXPECT_EQ(order[3], 9);  // woken thread (clock 50) preempts event 2
+  EXPECT_EQ(order[4], 2);  // now the second t=100 event
+  EXPECT_EQ(order[5], 7);  // runner 120 -> 180
+}
+
+TEST(EventCallback, MoveTransfersCallableOnce) {
+  int calls = 0;
+  EventCallback a([&calls] { ++calls; });
+  EXPECT_TRUE(static_cast<bool>(a));
+  EventCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  b();
+  EXPECT_EQ(calls, 1);
+  EventCallback c;
+  EXPECT_FALSE(static_cast<bool>(c));
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
 TEST(Engine, EventsDoNotFireAfterAllThreadsDone) {
   Engine e;
   int fired = 0;
