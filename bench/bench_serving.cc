@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
       numalab::bench::FlagStr(argc, argv, "arrival", "poisson");
   uint64_t requests = numalab::bench::FlagU64(argc, argv, "requests", 2000);
   uint64_t gap = numalab::bench::FlagU64(argc, argv, "rate-gap", 12'000);
+  uint64_t storage = numalab::bench::FlagU64(argc, argv, "storage", 0);
   numalab::bench::BenchMain(argc, argv);
 
   Arrival arrival;
@@ -58,6 +59,10 @@ int main(int argc, char** argv) {
   base.arrival = arrival;
   base.requests = requests;
   base.mean_gap_cycles = gap;
+  // --storage=1 routes the point/range/upsert stream through the WAL-backed
+  // paged tables (DESIGN.md §15). Default off: stdout is the committed
+  // golden, byte-identical to a build without src/storage.
+  base.storage.enabled = storage != 0;
 
   RunConfig rc = numalab::bench::TunedBase("A", 8);
   int failures = 0;

@@ -80,7 +80,7 @@ benches=(bench_machines bench_fig2_alloc_micro bench_fig3_affinity_variance
          bench_fig4_sparse_dense bench_table3_profile bench_fig5_os_config
          bench_fig6_allocators bench_fig7_indexes bench_fig8_tpch
          bench_fig9_tpch_alloc bench_fig10_advisor bench_ablations
-         bench_ext_onchip_numa bench_serving bench_placement)
+         bench_ext_onchip_numa bench_serving bench_placement bench_storage)
 if [[ ${FAULTLAB:-0} != 0 ]]; then
   extra_args+=(--faultlab=1)
   benches+=(bench_faultlab_grid)
@@ -110,6 +110,34 @@ else
   spool_dir=$(mktemp -d "${TMPDIR:-/tmp}/run_benches.XXXXXX") || exit 1
   trap 'rm -rf "$spool_dir"' EXIT
 fi
+
+# Interrupting a --jobs=N run mid-flight must not leave half-written
+# per-cell spools behind: in JSON_OUT_DIR mode the spools live in the
+# export directory itself, and a later merge (or a CI retry reusing the
+# directory) would happily pick up the stale .stdout/.json files as if
+# that cell had completed. On SIGINT/SIGTERM, kill the in-flight cells,
+# then remove every per-bench spool/export file this run could have
+# produced (plus any partial merged document) before exiting with the
+# conventional 128+signal status.
+cleanup_interrupt() {
+  local sig=$1 code=$2
+  trap - INT TERM
+  local p
+  for p in ${pid[@]+"${pid[@]}"}; do
+    [[ -n $p ]] && kill "$p" 2>/dev/null
+  done
+  wait 2>/dev/null
+  local b
+  for b in "${benches[@]}"; do
+    rm -f "$spool_dir/$b.stdout" "$spool_dir/$b.stderr" "$spool_dir/$b.status"
+    [[ -n $json_dir ]] && rm -f "$json_dir/$b.json"
+  done
+  [[ -n $json_dir ]] && rm -f "$json_dir/BENCH_results.json"
+  echo "run_benches.sh: interrupted (SIG$sig); removed per-cell spools" >&2
+  exit "$code"
+}
+trap 'cleanup_interrupt INT 130' INT
+trap 'cleanup_interrupt TERM 143' TERM
 
 # timeout(1) wrapper; falls back to no watchdog if coreutils timeout is
 # missing or the watchdog is disabled. The fallback is loud: silently
@@ -242,7 +270,7 @@ if [[ -n $json_dir ]]; then
   # documents. The document carries the expected roster and every failure,
   # so a partial merge is self-describing and the validator rejects it.
   {
-    printf '{"schema_version":3,\n"roster":['
+    printf '{"schema_version":4,\n"roster":['
     sep=""
     for b in "${benches[@]}"; do
       printf '%s"%s"' "$sep" "$b"

@@ -28,6 +28,12 @@
 #      and — when clang++ is on PATH — src/sanity/thread_safety_check.cc
 #      must compile under -Wthread-safety -Werror=thread-safety, machine-
 #      checking the SimMutex/VirtualLock capability annotations
+#  11. storage gate: same stage-5/7 reuse for bench_storage (whose own
+#      self-checks — per-mix checksum agreement across placement/policy/
+#      allocator, the checkpoint-interval redo curve, and the kill-a-node
+#      ARIES-lite recovery gate — already failed stage 5 if violated):
+#      stdout spool vs the committed golden, "storage" JSON sections
+#      schema-valid, and the two same-seed exports byte-identical
 #
 # Stages 1 and 3 build with -DNUMALAB_WERROR=ON: compiler warnings are
 # errors in the gate (but not in a developer's plain ./build).
@@ -56,18 +62,18 @@ run() {
   fi
 }
 
-echo "==== stage 1/10: plain build + ctest ===="
+echo "==== stage 1/11: plain build + ctest ===="
 run cmake -B build-check -S . -G Ninja -DNUMALAB_WERROR=ON
 run cmake --build build-check
 run ctest --test-dir build-check --output-on-failure
 
-echo "==== stage 2/10: address,undefined sanitizers + ctest ===="
+echo "==== stage 2/11: address,undefined sanitizers + ctest ===="
 run cmake -B build-check-asan -S . -G Ninja \
     -DNUMALAB_SANITIZE=address,undefined
 run cmake --build build-check-asan
 run ctest --test-dir build-check-asan --output-on-failure
 
-echo "==== stage 3/10: clang-tidy build ===="
+echo "==== stage 3/11: clang-tidy build ===="
 if command -v clang-tidy >/dev/null 2>&1; then
   run cmake -B build-check-tidy -S . -G Ninja -DNUMALAB_CLANG_TIDY=ON \
       -DNUMALAB_WERROR=ON
@@ -78,12 +84,12 @@ else
        "full gate."
 fi
 
-echo "==== stage 4/10: race-detector clean bench run ===="
+echo "==== stage 4/11: race-detector clean bench run ===="
 # Reuses the plain stage-1 build; every bench runs with --race-detect=1 and
 # any report makes the binary (and therefore run_benches.sh) exit non-zero.
 run env BUILD_DIR=build-check RACE_DETECT=1 ./run_benches.sh
 
-echo "==== stage 5/10: no-fault bench stdout vs committed golden ===="
+echo "==== stage 5/11: no-fault bench stdout vs committed golden ===="
 # The faultlab zero-cost contract: with no fault plan installed, the whole
 # bench suite must produce byte-identical stdout to the committed golden.
 # Any drift means the no-fault path changed behaviour. Runs at JOBS-way
@@ -101,13 +107,13 @@ if [[ $rc -ne 0 ]]; then
 fi
 run cmp bench/golden/run_benches.stdout build-check/run_benches.stdout
 
-echo "==== stage 6/10: fault-injection bench run (FAULTLAB=1) ===="
+echo "==== stage 6/11: fault-injection bench run (FAULTLAB=1) ===="
 # Every bench plus the faultlab pressure grid runs under the canned
 # per-node memory-pressure plan; every cell must degrade gracefully
 # (spill, not crash) and the suite must exit 0.
 run env BUILD_DIR=build-check FAULTLAB=1 ./run_benches.sh
 
-echo "==== stage 7/10: structured-export schema + determinism ===="
+echo "==== stage 7/11: structured-export schema + determinism ===="
 # Schema-validate everything stage 5 exported, then run the suite a second
 # (and final) time: same seeds, so the merged JSON must be byte-identical —
 # the export determinism contract (no wall time, no pointers, no hash
@@ -125,7 +131,7 @@ run env BUILD_DIR=build-check JSON_OUT_DIR=build-check/json-b \
 run cmp build-check/json-a/BENCH_results.json \
     build-check/json-b/BENCH_results.json
 
-echo "==== stage 8/10: serving determinism + schema (reusing stage-5 run) ===="
+echo "==== stage 8/11: serving determinism + schema (reusing stage-5 run) ===="
 # The serving layer's own contract, checked against the artifacts stages 5
 # and 7 already produced instead of fresh bench_serving runs: stdout spool
 # vs the committed golden, schema-valid "serving" JSON sections, and the
@@ -139,7 +145,7 @@ else
 fi
 run cmp build-check/json-a/bench_serving.json build-check/json-b/bench_serving.json
 
-echo "==== stage 9/10: placement dominance + determinism (reusing stage-5 run) ===="
+echo "==== stage 9/11: placement dominance + determinism (reusing stage-5 run) ===="
 # The adaptive-placement contract: bench_placement's own self-check (exit 1
 # unless placement beats first-touch/interleave/preferred AND stock
 # AutoNUMA on both p99 sojourn and LAR, with replication actually firing)
@@ -155,7 +161,7 @@ else
 fi
 run cmp build-check/json-a/bench_placement.json build-check/json-b/bench_placement.json
 
-echo "==== stage 10/10: detlint + thread-safety analysis ===="
+echo "==== stage 10/11: detlint + thread-safety analysis ===="
 # Static half of the determinism contract (the dynamic half is the
 # same-seed byte-diffs above). detlint ships in the stage-1 build tree.
 DETLINT=build-check/tools/detlint/detlint
@@ -192,5 +198,22 @@ else
        "no-op macros in stages 1-2). Install clang (or run in the" \
        "analysis container) for the full gate."
 fi
+
+echo "==== stage 11/11: storage determinism + schema (reusing stage-5 run) ===="
+# The storage-engine contract (DESIGN.md section 15), checked against the
+# stage-5/7 artifacts: bench_storage's recovery and checksum gates already
+# ran (and gated) inside stage 5; here its stdout spool is pinned to the
+# committed golden, its "storage" JSON sections are schema-validated
+# (present exactly when config.storage is true, shard hit counts summing
+# to pool totals, recovery section iff a crash happened), and the stage-5
+# vs stage-7 same-seed exports must be byte-identical.
+run cmp bench/golden/bench_storage.stdout build-check/json-a/bench_storage.stdout
+if command -v python3 >/dev/null 2>&1; then
+  run python3 scripts/validate_bench_json.py build-check/json-a/bench_storage.json
+else
+  echo "check.sh: NOTICE: python3 not found on PATH; skipping storage JSON" \
+       "schema validation (determinism diff still runs)."
+fi
+run cmp build-check/json-a/bench_storage.json build-check/json-b/bench_storage.json
 
 echo "check.sh: all stages passed"

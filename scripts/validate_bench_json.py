@@ -3,10 +3,13 @@
 
 Validates either a per-bench document (``--json-out`` output) or the merged
 ``BENCH_results.json`` produced by ``JSON_OUT_DIR=<dir> ./run_benches.sh``.
-Schema version 3 — keep in lockstep with src/trace/export.{h,cc}.
+Schema version 4 — keep in lockstep with src/trace/export.{h,cc}.
 v2 adds an optional per-run "serving" section (numalab::serve SLO metrics).
 v3 adds the adaptive-placement counters to "system", "all_offline_binds"
 to "degradation" and the "placement" flag to "config".
+v4 adds the "storage" flag to "config" and a per-run "storage" section
+(numalab::storage buffer-pool / WAL / recovery counters) that must be
+present exactly when the flag is true.
 
 Usage: validate_bench_json.py FILE [FILE ...]
 Exits non-zero with a path-qualified message on the first violation.
@@ -15,7 +18,7 @@ Exits non-zero with a path-qualified message on the first violation.
 import json
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 COUNTER_KEYS = {
     "cycles", "thread_migrations", "mem_accesses", "private_hits",
@@ -27,7 +30,7 @@ CONFIG_KEYS = {
     "machine", "threads", "affinity", "policy", "preferred_node",
     "allocator", "autonuma", "thp", "dataset", "num_records", "cardinality",
     "build_rows", "probe_rows", "seed", "run_index", "quantum",
-    "scalar_mem_path", "deadline_cycles", "placement",
+    "scalar_mem_path", "deadline_cycles", "placement", "storage",
 }
 SYSTEM_KEYS = {
     "page_migrations", "thp_collapses", "thp_splits", "pages_mapped",
@@ -58,6 +61,19 @@ SERVING_LATENCY_KEYS = {"p50", "p95", "p99", "max"}
 SERVING_TYPE_KEYS = {"type", "completed", "p50", "p95", "p99"}
 SERVING_NODE_KEYS = {"node", "enqueued", "rejected", "redirected_offline",
                      "max_depth"}
+STORAGE_KEYS = {
+    "enabled", "rows", "page_bytes", "frames_per_shard", "placement",
+    "checkpoint_interval", "lookups", "hits", "misses", "hit_rate",
+    "evictions", "writebacks", "upserts", "gets", "scan_rows", "shards",
+    "wal", "io", "crashes", "table_checksum",
+}
+STORAGE_SHARD_KEYS = {"node", "lookups", "hits", "misses", "hit_rate",
+                      "evictions", "writebacks", "frames", "alloc_fallbacks"}
+STORAGE_WAL_KEYS = {"records", "bytes", "flushes", "checkpoints",
+                    "checkpoint_pages", "truncated_records"}
+STORAGE_IO_KEYS = {"reads", "writes"}
+STORAGE_RECOVERY_KEYS = {"cycles", "records_scanned", "records_replayed",
+                         "pages_redone", "dirty_frames_lost", "checksum"}
 
 
 class Invalid(Exception):
@@ -124,11 +140,58 @@ def check_serving(s, where):
             f"completed is {s['completed']}")
 
 
+def check_storage(s, where):
+    keys = STORAGE_KEYS | {"recovery"} if "recovery" in s else STORAGE_KEYS
+    check_keys(s, keys, where)
+    check_keys(s["wal"], STORAGE_WAL_KEYS, f"{where}.wal")
+    check_keys(s["io"], STORAGE_IO_KEYS, f"{where}.io")
+    for k in ("rows", "page_bytes", "frames_per_shard", "lookups", "hits",
+              "misses", "evictions", "writebacks", "upserts", "gets",
+              "scan_rows", "crashes", "table_checksum"):
+        require(isinstance(s[k], int) and s[k] >= 0, f"{where}.{k}",
+                "expected a non-negative integer")
+    # Buffer-pool accounting: every lookup is exactly one hit or miss, and
+    # the pool totals are the sums of the per-shard counters.
+    require(s["hits"] + s["misses"] == s["lookups"], where,
+            "hits + misses != lookups")
+    sums = {k: 0 for k in ("lookups", "hits", "misses", "evictions",
+                           "writebacks")}
+    for i, sh in enumerate(s["shards"]):
+        shw = f"{where}.shards[{i}]"
+        check_keys(sh, STORAGE_SHARD_KEYS, shw)
+        require(sh["hits"] + sh["misses"] == sh["lookups"], shw,
+                "hits + misses != lookups")
+        for k in sums:
+            sums[k] += sh[k]
+    for k, total in sums.items():
+        require(total == s[k], where,
+                f"per-shard {k} sums to {total}, pool total is {s[k]}")
+    # ARIES-lite accounting: recovery details are present exactly when a
+    # fault killed a shard, and redo never replays more than it scanned.
+    require(("recovery" in s) == (s["crashes"] > 0), where,
+            "recovery section present iff crashes > 0")
+    if "recovery" in s:
+        rec = s["recovery"]
+        check_keys(rec, STORAGE_RECOVERY_KEYS, f"{where}.recovery")
+        require(rec["records_replayed"] <= rec["records_scanned"],
+                f"{where}.recovery", "replayed more records than scanned")
+
+
 def check_run(run, where):
-    check_keys(run, RUN_KEYS | {"serving"} if "serving" in run else RUN_KEYS,
-               where)
+    keys = set(RUN_KEYS)
+    if "serving" in run:
+        keys.add("serving")
+    if "storage" in run:
+        keys.add("storage")
+    check_keys(run, keys, where)
     if "serving" in run:
         check_serving(run["serving"], f"{where}.serving")
+    # v4: the per-run storage section is present exactly when the config
+    # recorded --storage=1, so a v4 doc can never silently drop it.
+    require(("storage" in run) == (run["config"].get("storage") is True),
+            where, "storage section present iff config.storage is true")
+    if "storage" in run:
+        check_storage(run["storage"], f"{where}.storage")
     check_keys(run["config"], CONFIG_KEYS, f"{where}.config")
     check_counters(run["counters"], f"{where}.counters")
     check_keys(run["system"], SYSTEM_KEYS, f"{where}.system")

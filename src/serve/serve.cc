@@ -107,6 +107,7 @@ struct ServeState {
   ProbeTable* probe_table = nullptr;
   std::unique_ptr<minidb::Database> db;  // null when the mix has no TPC-H
   const minidb::SystemProfile* prof = nullptr;
+  storage::StorageEngine* store = nullptr;  // null unless storage.enabled
 
   // Request plane.
   std::vector<Request> reqs;
@@ -529,6 +530,20 @@ sim::Task ServeWorker(Env& env, ServeState& s) {
           return s.reqs[a].key < s.reqs[b].key;
         });
       }
+      if (s.store != nullptr) {
+        // Storage mode: the batch still amortizes dispatch + queue lock,
+        // and the key sort turns adjacent keys into same-page hits in the
+        // buffer pool (the paged analogue of the span coalescing below).
+        for (uint64_t x = 0; x < nbatch; ++x) {
+          const Request& pr = s.reqs[batch[x]];
+          uint64_t v = 0;
+          s.store->Get(env, pr.key % sc.kv_keys, &v);
+          env.Compute(kPointCycles);
+          OnCompleted(s, env, pr, v);
+        }
+        co_await env.Checkpoint();
+        continue;
+      }
       uint64_t i = 0;
       while (i < nbatch) {
         // Coalesce a run of consecutive keys into one span access — the
@@ -559,6 +574,12 @@ sim::Task ServeWorker(Env& env, ServeState& s) {
     const Request& r = s.reqs[batch[0]];
     switch (r.type) {
       case RequestType::kRangeAgg: {
+        if (s.store != nullptr) {
+          uint64_t sum = s.store->ScanSum(env, r.key % sc.kv_keys, r.rows);
+          env.Compute(static_cast<uint64_t>(r.rows) * kRangePerRowCycles);
+          OnCompleted(s, env, r, sum);
+          break;
+        }
         uint64_t owner = std::min<uint64_t>(
             r.key / s.keys_per_node, static_cast<uint64_t>(s.nodes) - 1);
         datagen::Record* arr = s.parts[static_cast<size_t>(owner)];
@@ -583,7 +604,12 @@ sim::Task ServeWorker(Env& env, ServeState& s) {
       }
       case RequestType::kUpsert: {
         uint64_t v = PointValue(r.key);
-        if (s.probe_table->UpsertSet(env, r.key, v) == nullptr) {
+        if (s.store != nullptr) {
+          // Durable write: WAL append (group commit), then the in-frame
+          // slot update. A false return means the buffer pool could not
+          // materialize the page (allocation chain exhausted).
+          if (!s.store->Upsert(env, r.key % sc.kv_keys, v)) v = 0;
+        } else if (s.probe_table->UpsertSet(env, r.key, v) == nullptr) {
           // Injected allocation failure: the table entry could not be
           // created; the request still completes (as a failed write).
           v = 0;
@@ -754,6 +780,19 @@ ServeResult RunServing(const workloads::RunConfig& rc,
                               q.cap * sizeof(uint32_t), n);
   }
 
+  // WAL-backed storage engine under the request stream (--storage=1). The
+  // engine's disk preload is host-side; its frames are allocated lazily by
+  // the workers through the fallible chain, so faultlab pressure applies.
+  std::unique_ptr<storage::StorageEngine> store;
+  if (sc.storage.enabled) {
+    storage::StorageConfig scfg = sc.storage;
+    scfg.rows = sc.kv_keys;
+    store = std::make_unique<storage::StorageEngine>(
+        scfg, s.nodes, rc.seed + static_cast<uint64_t>(rc.run_index),
+        ctx.faults());
+    s.store = store.get();
+  }
+
   // --- Request plane (all randomness drawn here, before the run). ---
   Rng rng(rc.seed * 0x9e3779b97f4a7c15ULL + 0x5e57e5e57e5e57eULL +
           rc.run_index);
@@ -786,9 +825,17 @@ ServeResult RunServing(const workloads::RunConfig& rc,
           ? st.last_completion_cycle - st.first_arrival_cycle
           : 0;
   out.stats = st;
+  if (s.store != nullptr) out.storage = s.store->stats();
 
-  trace::CollectRun(std::string("serve-") + ArrivalName(sc.arrival), rc,
-                    out.run, ServingJson(sc, out.stats));
+  // Exported config carries the storage flag so the validator can insist on
+  // the "storage" section exactly when the engine ran.
+  workloads::RunConfig rc_export = rc;
+  rc_export.storage = sc.storage.enabled;
+  trace::CollectRun(std::string("serve-") + ArrivalName(sc.arrival),
+                    rc_export, out.run, ServingJson(sc, out.stats),
+                    s.store != nullptr
+                        ? storage::StorageJson(s.store->config(), out.storage)
+                        : std::string());
   return out;
 }
 

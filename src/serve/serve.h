@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/storage/storage.h"
 #include "src/workloads/run_config.h"
 
 namespace numalab {
@@ -125,6 +126,14 @@ struct ServeConfig {
   /// unbatched reference dispatch.
   uint64_t batch_max = 16;
   uint64_t batch_window_cycles = 2'000;
+
+  /// WAL-backed storage engine under the serving layer (DESIGN.md §15).
+  /// When storage.enabled, point/range/upsert requests run through the
+  /// NUMA-sharded buffer pool + WAL instead of the raw partition slabs /
+  /// probe table; storage.rows is overridden to kv_keys. Default-off is
+  /// zero-cost: the serving stream, stats and stdout are bit-identical to
+  /// a build without the storage engine.
+  storage::StorageConfig storage;
 };
 
 /// \brief Per-request-type completion stats (exact-sort percentiles over
@@ -188,6 +197,8 @@ struct ServingStats {
 struct ServeResult {
   workloads::RunResult run;
   ServingStats stats;
+  /// Filled iff ServeConfig::storage.enabled (zero-initialized otherwise).
+  storage::StorageStats storage;
 };
 
 /// Runs one serving experiment: builds the data plane (partitioned store,

@@ -88,10 +88,11 @@ void AppendConfig(std::string* out, const workloads::RunConfig& c) {
   Appendf(out,
           ",\"seed\":%" PRIu64 ",\"run_index\":%d,\"quantum\":%" PRIu64
           ",\"scalar_mem_path\":%s,\"deadline_cycles\":%" PRIu64
-          ",\"placement\":%s}",
+          ",\"placement\":%s,\"storage\":%s}",
           c.seed, c.run_index, c.quantum,
           c.scalar_mem_path ? "true" : "false", c.deadline_cycles,
-          c.placement.enabled ? "true" : "false");
+          c.placement.enabled ? "true" : "false",
+          c.storage ? "true" : "false");
 }
 
 void AppendRun(std::string* out, const CollectedRun& run, int id) {
@@ -212,6 +213,10 @@ void AppendRun(std::string* out, const CollectedRun& run, int id) {
     out->append(",\n     \"serving\":");
     out->append(run.serving_json);
   }
+  if (!run.storage_json.empty()) {
+    out->append(",\n     \"storage\":");
+    out->append(run.storage_json);
+  }
   out->append("}");
 }
 
@@ -224,7 +229,7 @@ void CollectRun(const std::string& workload,
                 const workloads::RunConfig& config,
                 const workloads::RunResult& result) {
   if (!g_collect) return;
-  MutableRuns().push_back(CollectedRun{workload, config, result, ""});
+  MutableRuns().push_back(CollectedRun{workload, config, result, "", ""});
 }
 
 void CollectRun(const std::string& workload,
@@ -233,7 +238,17 @@ void CollectRun(const std::string& workload,
                 const std::string& serving_json) {
   if (!g_collect) return;
   MutableRuns().push_back(CollectedRun{workload, config, result,
-                                       serving_json});
+                                       serving_json, ""});
+}
+
+void CollectRun(const std::string& workload,
+                const workloads::RunConfig& config,
+                const workloads::RunResult& result,
+                const std::string& serving_json,
+                const std::string& storage_json) {
+  if (!g_collect) return;
+  MutableRuns().push_back(CollectedRun{workload, config, result,
+                                       serving_json, storage_json});
 }
 
 const std::vector<CollectedRun>& CollectedRuns() { return MutableRuns(); }

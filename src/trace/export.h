@@ -34,7 +34,10 @@ namespace trace {
 ///     replica_reads/writes/invalidations/drops, replica_bytes_peak,
 ///     migrations_vetoed, capacity_bytes_total), "all_offline_binds" in
 ///     "degradation", and the "placement" flag in "config".
-inline constexpr int kJsonSchemaVersion = 3;
+/// v4: optional per-run "storage" section (numalab::storage buffer-pool /
+///     WAL / recovery counters) and the "storage" flag in "config"; the
+///     section must be present exactly when the flag is true.
+inline constexpr int kJsonSchemaVersion = 4;
 
 /// \brief One workload run as deposited by CollectRun.
 struct CollectedRun {
@@ -45,6 +48,10 @@ struct CollectedRun {
   /// non-serving runs (the key is omitted). Produced by serve::ServingJson;
   /// must obey the same determinism contract as the rest of the document.
   std::string serving_json;
+  /// Pre-serialized JSON object for the run's "storage" key, or empty when
+  /// the run had no storage engine (the key is omitted). Produced by
+  /// storage::StorageJson; same determinism contract.
+  std::string storage_json;
 };
 
 /// Process-wide collection switch. When on, every SimContext attaches a
@@ -65,6 +72,15 @@ void CollectRun(const std::string& workload,
                 const workloads::RunConfig& config,
                 const workloads::RunResult& result,
                 const std::string& serving_json);
+
+/// As above, additionally attaching a pre-serialized "storage" JSON object
+/// (see CollectedRun::storage_json); either string may be empty to omit the
+/// corresponding key.
+void CollectRun(const std::string& workload,
+                const workloads::RunConfig& config,
+                const workloads::RunResult& result,
+                const std::string& serving_json,
+                const std::string& storage_json);
 
 const std::vector<CollectedRun>& CollectedRuns();
 void ClearCollectedRuns();

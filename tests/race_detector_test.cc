@@ -243,6 +243,37 @@ TEST(RaceDetectorSimTest, ServingMixedStreamRunsClean) {
       << (r.run.race_reports.empty() ? "" : r.run.race_reports[0]);
 }
 
+TEST(RaceDetectorSimTest, StorageUpsertScanStreamRunsClean) {
+  // The WAL-backed storage path: every worker hammers the buffer-pool
+  // shard stripe locks at once — concurrent upserts (WAL appends + in-frame
+  // slot writes), point gets, and multi-page scans, with evictions and
+  // dirty writebacks moving whole page images under the shard locks. The
+  // happens-before detector must see every frame/WAL access ordered by the
+  // Env::LockAcquired/LockReleased edges.
+  workloads::RunConfig cfg;
+  cfg.machine = "A";
+  cfg.threads = 4;
+  cfg.race_detect = true;
+  serve::ServeConfig sc;
+  sc.requests = 300;
+  sc.kv_keys = 1 << 13;  // 33 pages over 8 two-frame shards: eviction-hot
+  sc.probe_build_rows = 1024;
+  sc.mean_gap_cycles = 2'000;
+  sc.mix_point = 0.25;
+  sc.mix_range = 0.25;  // scans walk pages across shards
+  sc.mix_probe = 0;
+  sc.mix_upsert = 0.5;  // upsert-heavy: WAL + dirty frames do real work
+  sc.mix_tpch = 0;
+  sc.storage.enabled = true;
+  sc.storage.frames_per_shard = 2;  // tiny pool: evictions under contention
+  serve::ServeResult r = serve::RunServing(cfg, sc);
+  ASSERT_TRUE(r.run.status.ok()) << r.run.status.ToString();
+  EXPECT_GT(r.storage.upserts, 0u);
+  EXPECT_GT(r.storage.evictions, 0u);
+  EXPECT_EQ(r.run.races, 0u)
+      << (r.run.race_reports.empty() ? "" : r.run.race_reports[0]);
+}
+
 }  // namespace
 }  // namespace sanity
 }  // namespace numalab

@@ -231,7 +231,7 @@ const char kC2[] =
 
 TEST(TraceJson, BenchJsonGolden) {
   std::string expected = std::string() +
-      "{\"schema_version\":3,\n"
+      "{\"schema_version\":4,\n"
       " \"bench\":\"golden\",\n"
       " \"runs\":[\n"
       "    {\"id\":0,\"workload\":\"Wx\",\n"
@@ -241,7 +241,7 @@ TEST(TraceJson, BenchJsonGolden) {
       "\"dataset\":\"MovingCluster\",\"num_records\":8000000,"
       "\"cardinality\":80000,\"build_rows\":250000,\"probe_rows\":4000000,"
       "\"seed\":7,\"run_index\":0,\"quantum\":4000,\"scalar_mem_path\":false,"
-      "\"deadline_cycles\":0,\"placement\":false},\n"
+      "\"deadline_cycles\":0,\"placement\":false,\"storage\":false},\n"
       "     \"status\":\"OK\",\n"
       "     \"cycles\":100,\"aux_cycles\":5,\"checksum\":42,\"lar\":0.75,\n"
       "     \"requested_peak\":1000,\"resident_peak\":2000,\"races\":0,\n"
@@ -273,7 +273,7 @@ TEST(TraceJson, BenchJsonGolden) {
 
 TEST(TraceJson, EmptyRunListStillWellFormed) {
   EXPECT_EQ(BenchJson("empty", {}),
-            "{\"schema_version\":3,\n \"bench\":\"empty\",\n \"runs\":[]}\n");
+            "{\"schema_version\":4,\n \"bench\":\"empty\",\n \"runs\":[]}\n");
 }
 
 TEST(TraceJson, StringsAreEscaped) {
